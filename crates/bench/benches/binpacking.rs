@@ -1,0 +1,32 @@
+//! Criterion bench: randomized first-fit bin packing of SRB experiments
+//! (the paper's Optimization 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xtalk_charac::binpack::{pack, pack_edges};
+use xtalk_device::Topology;
+
+fn binpacking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binpack_one_hop_pairs");
+    for (name, topo) in [
+        ("poughkeepsie", Topology::poughkeepsie()),
+        ("johannesburg", Topology::johannesburg()),
+        ("boeblingen", Topology::boeblingen()),
+    ] {
+        let pairs = topo.pairs_at_distance(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pairs, |b, pairs| {
+            b.iter(|| pack(&topo, pairs, 2, 50, 7));
+        });
+    }
+    group.finish();
+}
+
+fn edge_packing(c: &mut Criterion) {
+    let topo = Topology::poughkeepsie();
+    let edges = topo.edges().to_vec();
+    c.bench_function("pack_edges_poughkeepsie", |b| {
+        b.iter(|| pack_edges(&topo, &edges, 2, 50, 7));
+    });
+}
+
+criterion_group!(benches, binpacking, edge_packing);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: simultaneous-RB characterization cost per pair (the
+//! simulated analogue of the machine time Figure 10 accounts for).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xtalk_charac::srb::{run_rb_bin, run_srb_pair};
+use xtalk_charac::RbConfig;
+use xtalk_clifford::random::random_two_qubit_clifford;
+use xtalk_device::{Device, Edge};
+
+fn tiny_config() -> RbConfig {
+    RbConfig { lengths: vec![2, 8, 16], seqs_per_length: 2, shots: 64, seed: 1 }
+}
+
+fn srb_pair(c: &mut Criterion) {
+    let device = Device::poughkeepsie(7);
+    let mut group = c.benchmark_group("srb");
+    group.sample_size(10);
+    group.bench_function("pair_10_15__11_12", |b| {
+        b.iter(|| run_srb_pair(&device, Edge::new(10, 15), Edge::new(11, 12), &tiny_config()));
+    });
+    group.bench_function("independent_rb_bin", |b| {
+        b.iter(|| run_rb_bin(&device, &[Edge::new(0, 1), Edge::new(15, 16)], &tiny_config()));
+    });
+    group.finish();
+}
+
+fn clifford_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    // Force group construction outside the measurement.
+    let _ = xtalk_clifford::group::two_qubit_cliffords();
+    c.bench_function("random_two_qubit_clifford", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| random_two_qubit_clifford(&mut rng));
+    });
+}
+
+criterion_group!(benches, srb_pair, clifford_sampling);
+criterion_main!(benches);

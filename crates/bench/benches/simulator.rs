@@ -1,0 +1,55 @@
+//! Criterion bench: noisy trajectory-simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xtalk_device::Device;
+use xtalk_ir::Circuit;
+use xtalk_sim::{Executor, ExecutorConfig};
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q as u32, q as u32 + 1);
+    }
+    c.measure_all();
+    c
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_ghz");
+    group.sample_size(20);
+    for n in [4usize, 8, 12] {
+        let device = Device::line(n, 7);
+        let circuit = ghz_circuit(n);
+        let sched = Executor::asap_schedule(&circuit, device.calibration());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let cfg = ExecutorConfig { shots: 256, seed: 3, ..Default::default() };
+                Executor::with_config(&device, cfg).run(&sched)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn statevector_gates(c: &mut Criterion) {
+    use xtalk_ir::Gate;
+    use xtalk_sim::StateVector;
+    let mut group = c.benchmark_group("statevector");
+    for n in [10usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("cx_sweep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = StateVector::new(n);
+                s.apply_gate(&Gate::H, &[0]);
+                for q in 0..n - 1 {
+                    s.apply_gate(&Gate::Cx, &[q, q + 1]);
+                }
+                s
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput, statevector_gates);
+criterion_main!(benches);

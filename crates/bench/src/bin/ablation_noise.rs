@@ -1,0 +1,119 @@
+//! Noise-source ablation: attribute XtalkSched's gains to the noise they
+//! actually come from. With crosstalk disabled in the executor, the gap
+//! between XtalkSched and ParSched must vanish; with decoherence
+//! disabled, SerialSched stops losing. This validates that the headline
+//! improvements are caused by the modeled mechanisms, not artifacts.
+//!
+//! ```text
+//! cargo run -p xtalk-bench --release --bin ablation_noise
+//! ```
+
+use xtalk_bench::Scale;
+use xtalk_core::routing::swap_benchmark;
+use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_device::Device;
+use xtalk_ir::Qubit;
+use xtalk_sim::tomography::{
+    bell_phi_plus, expectations_from_distributions, tomography_circuits, DensityMatrix2,
+};
+use xtalk_sim::{Executor, ExecutorConfig};
+
+/// Bell error under an explicit executor configuration (no readout
+/// mitigation — raw physics, so the ablation is clean).
+fn bell_error(
+    device: &Device,
+    ctx: &SchedulerContext,
+    scheduler: &dyn Scheduler,
+    a: u32,
+    b: u32,
+    cfg_base: ExecutorConfig,
+) -> f64 {
+    let bench = swap_benchmark(device.topology(), a, b).expect("connected");
+    let (qa, qb): (Qubit, Qubit) = bench.bell_pair;
+    let mut data = Vec::new();
+    for (idx, (setting, circuit)) in
+        tomography_circuits(&bench.circuit, qa, qb).into_iter().enumerate()
+    {
+        let sched = scheduler.schedule(&circuit, ctx).expect("schedulable");
+        let cfg = ExecutorConfig { seed: cfg_base.seed ^ ((idx as u64 + 1) << 24), ..cfg_base };
+        let counts = Executor::with_config(device, cfg).run(&sched);
+        // Marginalize onto the two tomography clbits.
+        let mut dist = vec![0.0; 4];
+        for (outcome, count) in counts.iter() {
+            dist[(outcome & 0b11) as usize] += count as f64 / counts.shots() as f64;
+        }
+        data.push((setting, dist));
+    }
+    let rho = DensityMatrix2::from_expectations(&expectations_from_distributions(&data));
+    (1.0 - rho.fidelity_with(&bell_phi_plus())).clamp(0.0, 1.0)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let device = Device::poughkeepsie(scale.seed);
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let (a, b) = (0u32, 13u32);
+
+    let configs: [(&str, ExecutorConfig); 4] = [
+        (
+            "full noise",
+            ExecutorConfig { shots: scale.tomo_shots, seed: 3, readout_noise: false, ..Default::default() },
+        ),
+        (
+            "no crosstalk",
+            ExecutorConfig {
+                shots: scale.tomo_shots,
+                seed: 3,
+                crosstalk: false,
+                readout_noise: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no decoherence",
+            ExecutorConfig {
+                shots: scale.tomo_shots,
+                seed: 3,
+                decoherence: false,
+                readout_noise: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "gate noise only",
+            ExecutorConfig {
+                shots: scale.tomo_shots,
+                seed: 3,
+                crosstalk: false,
+                decoherence: false,
+                readout_noise: false,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    println!("=== Noise-source ablation, SWAP {a}<->{b} on {} ===\n", device.name());
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>14}",
+        "noise model", "Serial", "Par", "Xtalk", "Xtalk gain"
+    );
+    for (name, cfg) in configs {
+        let ser = bell_error(&device, &ctx, &SerialSched::new(), a, b, cfg);
+        let par = bell_error(&device, &ctx, &ParSched::new(), a, b, cfg);
+        let xt = bell_error(&device, &ctx, &XtalkSched::new(0.5), a, b, cfg);
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>12.4} {:>13.2}x",
+            name,
+            ser,
+            par,
+            xt,
+            par / xt.max(1e-4)
+        );
+    }
+
+    println!(
+        "\nExpected: the Xtalk-vs-Par gain collapses to ~1x once crosstalk is\n\
+         switched off (nothing left to mitigate), and SerialSched's deficit\n\
+         versus ParSched disappears without decoherence."
+    );
+}

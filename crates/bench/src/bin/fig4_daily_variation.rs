@@ -1,0 +1,72 @@
+//! Figure 4: daily variation of conditional vs independent error rates
+//! on IBMQ Poughkeepsie over a week — conditional rates stay well above
+//! independent and vary up to ~2–3×, while the *set* of high pairs is
+//! stable.
+//!
+//! ```text
+//! cargo run -p xtalk-bench --release --bin fig4_daily_variation [--full]
+//! ```
+
+use xtalk_bench::Scale;
+use xtalk_charac::policy::TimeModel;
+use xtalk_charac::{characterize, CharacterizationPolicy};
+use xtalk_device::{Device, Edge};
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = Device::poughkeepsie(scale.seed);
+    let tracked = [
+        (Edge::new(13, 14), Edge::new(18, 19)),
+        (Edge::new(18, 19), Edge::new(13, 14)),
+        (Edge::new(11, 12), Edge::new(10, 15)),
+        (Edge::new(10, 15), Edge::new(11, 12)),
+    ];
+    let known: Vec<(Edge, Edge)> = base.crosstalk().high_unordered_pairs(3.0);
+
+    println!("=== Figure 4: daily crosstalk variation, {} ===\n", base.name());
+    print!("{:<6}", "day");
+    for (a, b) in &tracked {
+        print!(" {:>18}", format!("E({a}|{b})"));
+    }
+    print!(" {:>12} {:>12}", "E(CX13,14)", "E(CX10,15)");
+    println!(" {:>10}", "high set");
+
+    let mut min_max: Vec<(f64, f64)> = vec![(f64::INFINITY, 0.0); tracked.len()];
+    let mut kept_total = 0usize;
+    let mut pair_days = 0usize;
+    for day in 0..6u32 {
+        let device = base.on_day(day);
+        let policy =
+            CharacterizationPolicy::HighCrosstalkOnly { k_hops: 2, known_pairs: known.clone() };
+        let (charac, _) = characterize(&device, &policy, &scale.rb, &TimeModel::default());
+
+        print!("{day:<6}");
+        for (i, (a, b)) in tracked.iter().enumerate() {
+            let v = charac.conditional(*a, *b).unwrap_or(f64::NAN);
+            min_max[i].0 = min_max[i].0.min(v);
+            min_max[i].1 = min_max[i].1.max(v);
+            print!(" {v:>18.4}");
+        }
+        print!(
+            " {:>12.4} {:>12.4}",
+            device.calibration().cx_error(Edge::new(13, 14)),
+            device.calibration().cx_error(Edge::new(10, 15)),
+        );
+        let today = charac.high_pairs(3.0);
+        let kept = known.iter().filter(|p| today.contains(p)).count();
+        kept_total += kept;
+        pair_days += known.len();
+        println!(" {kept}/{}", known.len());
+    }
+
+    println!("\nconditional-rate variation across the week:");
+    for ((a, b), (lo, hi)) in tracked.iter().zip(&min_max) {
+        println!("  E({a}|{b}): {:.4} .. {:.4}  ({:.1}x)", lo, hi, hi / lo);
+    }
+    println!(
+        "\nhigh-crosstalk set persistence: {kept_total}/{pair_days} pair-days re-detected\n\
+         Paper shape check: conditional rates vary up to ~2x day-to-day but stay\n\
+         far above the independent rates; the set of high pairs tends to persist\n\
+         (borderline ~4.5x pairs occasionally dip under the 3x criterion)."
+    );
+}

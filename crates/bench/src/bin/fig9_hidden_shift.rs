@@ -1,0 +1,80 @@
+//! Figure 9: Hidden Shift sensitivity to ω, without (a) and with (b)
+//! redundant CNOTs — crosstalk-susceptible programs profit from a wide
+//! range of ω.
+//!
+//! ```text
+//! cargo run -p xtalk-bench --release --bin fig9_hidden_shift [--full]
+//! ```
+
+use xtalk_bench::Scale;
+use xtalk_core::bench_circuits::hidden_shift;
+use xtalk_core::pipeline::hidden_shift_error;
+use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_device::Device;
+
+fn main() {
+    let scale = Scale::from_args();
+    let device = Device::poughkeepsie(scale.seed);
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let regions: [[u32; 4]; 4] =
+        [[5, 10, 11, 12], [9, 14, 13, 12], [15, 10, 11, 12], [11, 12, 13, 14]];
+    let omegas = [0.0, 0.2, 0.35, 0.5, 0.75, 1.0];
+    let shift = 0b1010u8;
+
+    for (panel, redundant) in [("(a) no redundant CNOTs", false), ("(b) redundant CNOTs", true)]
+    {
+        println!("=== Figure 9{panel} ===");
+        print!("{:>8}", "omega");
+        for region in &regions {
+            print!(" {:>16}", format!("{region:?}"));
+        }
+        println!();
+
+        let mut base_errors = vec![0.0f64; regions.len()];
+        let mut best_mid = vec![f64::INFINITY; regions.len()];
+        for &omega in &omegas {
+            print!("{omega:>8.2}");
+            for (r, region) in regions.iter().enumerate() {
+                let circuit = hidden_shift(20, region, shift, redundant);
+                let sched: Box<dyn Scheduler> = if omega == 0.0 {
+                    Box::new(ParSched::new())
+                } else if omega == 1.0 {
+                    Box::new(SerialSched::new())
+                } else {
+                    Box::new(XtalkSched::new(omega))
+                };
+                let err = hidden_shift_error(
+                    &device,
+                    &ctx,
+                    sched.as_ref(),
+                    &circuit,
+                    shift as u64,
+                    scale.app_shots,
+                    scale.seed ^ ((r as u64) << 16) ^ (omega * 100.0) as u64,
+                )
+                .expect("scheduling succeeds");
+                if omega == 0.0 {
+                    base_errors[r] = err;
+                }
+                if (0.2..=0.5).contains(&omega) {
+                    best_mid[r] = best_mid[r].min(err);
+                }
+                print!(" {err:>16.4}");
+            }
+            println!();
+        }
+        for (r, region) in regions.iter().enumerate() {
+            println!(
+                "  region {region:?}: ω∈[0.2,0.5] best {:.4} vs ω=0 {:.4} ({:.2}x)",
+                best_mid[r],
+                base_errors[r],
+                base_errors[r].max(1e-4) / best_mid[r].max(1e-4)
+            );
+        }
+        println!();
+    }
+    println!(
+        "Paper shape check: without redundancy only ω=1 helps (overlap windows are\n\
+         short); with redundant CNOTs any ω ∈ [0.2, 0.5] beats ω=0, up to ~3x."
+    );
+}

@@ -1,0 +1,58 @@
+//! Section 9.4: scheduler compile-time scaling on supremacy-style random
+//! circuits (6–18 qubits, ~100–1000 gates, depth up to 40).
+//!
+//! ```text
+//! cargo run -p xtalk-bench --release --bin sec9_4_scalability [--full]
+//! ```
+
+use std::time::Instant;
+use xtalk_bench::Scale;
+use xtalk_core::bench_circuits::supremacy_circuit;
+use xtalk_core::{SchedulerContext, XtalkSched};
+use xtalk_device::Device;
+
+fn main() {
+    let scale = Scale::from_args();
+    let device = Device::poughkeepsie(scale.seed);
+    let ctx = SchedulerContext::from_ground_truth(&device);
+
+    // (qubit count, depth) grid chosen to span ~100 to ~1000 gates.
+    let grid: &[(usize, usize)] = if scale.full {
+        &[(6, 10), (6, 40), (10, 20), (12, 40), (16, 40), (18, 40), (18, 56)]
+    } else {
+        &[(6, 10), (10, 20), (12, 40), (18, 40)]
+    };
+
+    println!("=== Section 9.4: XtalkSched compile-time scaling ===\n");
+    println!(
+        "{:>7} {:>7} {:>7} {:>11} {:>10} {:>12} {:>12}",
+        "qubits", "depth", "gates", "candidates", "leaves", "time (ms)", "makespan(ns)"
+    );
+
+    for &(nq, depth) in grid {
+        let qubits: Vec<u32> = (0..nq as u32).collect();
+        let circuit = supremacy_circuit(device.topology(), &qubits, depth, scale.seed);
+        let scheduler = XtalkSched::new(0.5).with_max_leaves(50_000);
+        let t0 = Instant::now();
+        let (sched, report) = scheduler
+            .schedule_with_report(&circuit, &ctx)
+            .expect("supremacy circuits are hardware compliant");
+        let dt = t0.elapsed();
+        println!(
+            "{:>7} {:>7} {:>7} {:>11} {:>10} {:>12.1} {:>12}",
+            nq,
+            depth,
+            circuit.len(),
+            report.candidate_pairs,
+            report.leaves,
+            dt.as_secs_f64() * 1000.0,
+            sched.makespan()
+        );
+    }
+
+    println!(
+        "\nPaper shape check: compile time grows with gate count, not qubit count,\n\
+         and stays in the interactive range (paper: <2 min at 500 gates, <15 min\n\
+         at 1000 gates with Z3; our lazy engine only branches on actual conflicts)."
+    );
+}

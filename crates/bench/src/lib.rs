@@ -1,0 +1,170 @@
+//! Shared helpers for the figure-regeneration binaries (one binary per
+//! table/figure of the paper — see DESIGN.md for the index) and the
+//! Criterion benches.
+
+use xtalk_charac::RbConfig;
+use xtalk_core::routing::endpoint_pairs_by_crosstalk;
+use xtalk_core::SchedulerContext;
+use xtalk_device::Device;
+
+/// Experiment scale: every figure binary defaults to a reduced scale that
+/// finishes in minutes and switches to the paper's published parameters
+/// with `--full`.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Shots per tomography basis (paper: 1024 → 9216 total).
+    pub tomo_shots: u64,
+    /// Shots per application circuit (paper: 8192).
+    pub app_shots: u64,
+    /// RB configuration for characterization figures.
+    pub rb: RbConfig,
+    /// Cap on SWAP endpoint pairs evaluated per device (`None` = all).
+    pub max_swap_pairs: Option<usize>,
+    /// Base seed.
+    pub seed: u64,
+    /// Whether this is the paper-scale run.
+    pub full: bool,
+}
+
+impl Scale {
+    /// The fast default.
+    pub fn reduced() -> Self {
+        Scale {
+            tomo_shots: 768,
+            app_shots: 2048,
+            rb: RbConfig { seqs_per_length: 5, shots: 192, ..Default::default() },
+            max_swap_pairs: Some(8),
+            seed: 7,
+            full: false,
+        }
+    }
+
+    /// The paper's published parameters.
+    pub fn full() -> Self {
+        Scale {
+            tomo_shots: 1024,
+            app_shots: 8192,
+            rb: RbConfig::paper_scale(),
+            max_swap_pairs: None,
+            seed: 7,
+            full: true,
+        }
+    }
+
+    /// Reads the scale from the process arguments (`--full`).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::full()
+        } else {
+            Scale::reduced()
+        }
+    }
+}
+
+/// The three evaluation devices, seeded like the examples.
+pub fn devices(seed: u64) -> Vec<Device> {
+    Device::all_ibmq(seed)
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive entries.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// The crosstalk-affected SWAP endpoint pairs of a device: the shortest
+/// path crosses a high-crosstalk pair *and* the routed circuit actually
+/// contains at least one pair of parallelizable high-crosstalk CNOTs
+/// (the paper's selection criterion, Section 8.3: "46 circuits across
+/// the three devices which include at least one pair of high crosstalk
+/// CNOTs"). Grouped over path lengths 3–8, optionally capped — the
+/// evaluation set of Figures 5 and 7.
+pub fn affected_swap_pairs(
+    device: &Device,
+    ctx: &SchedulerContext,
+    cap: Option<usize>,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for len in 3..=8 {
+        for (a, b) in endpoint_pairs_by_crosstalk(device.topology(), ctx, len, false) {
+            let routed = xtalk_core::routing::swap_benchmark(device.topology(), a, b)
+                .expect("affected pairs are connected");
+            if !xtalk_core::XtalkSched::candidate_pairs(&routed.circuit, ctx).is_empty() {
+                out.push((a, b));
+            }
+        }
+    }
+    if let Some(cap) = cap {
+        // Spread the cap across path lengths rather than truncating the
+        // short ones only.
+        let step = out.len().max(1).div_ceil(cap);
+        out = out.into_iter().step_by(step.max(1)).collect();
+    }
+    out
+}
+
+/// Mean and (population) standard deviation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "mean of nothing");
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    (m, v.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_sd(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn affected_pairs_exist_on_all_devices() {
+        for device in devices(7) {
+            let ctx = SchedulerContext::from_ground_truth(&device);
+            let pairs = affected_swap_pairs(&device, &ctx, Some(6));
+            assert!(!pairs.is_empty(), "{} has no affected pairs", device.name());
+            assert!(pairs.len() <= 7, "cap roughly respected: {}", pairs.len());
+        }
+    }
+
+    #[test]
+    fn scales_differ() {
+        let r = Scale::reduced();
+        let f = Scale::full();
+        assert!(r.tomo_shots < f.tomo_shots);
+        assert!(f.max_swap_pairs.is_none());
+        assert!(f.full && !r.full);
+    }
+}

@@ -1,0 +1,216 @@
+//! Randomized first-fit bin packing of SRB experiments (the paper's
+//! Optimization 2, Section 5.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_device::{Edge, Topology};
+
+/// Distance between two SRB pairs: the minimum gate distance between any
+/// edge of one and any edge of the other (`None` if disconnected).
+pub fn pair_distance(
+    topo: &Topology,
+    a: (Edge, Edge),
+    b: (Edge, Edge),
+) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for x in [a.0, a.1] {
+        for y in [b.0, b.1] {
+            if let Some(d) = topo.edge_distance(x, y) {
+                best = Some(best.map_or(d, |c| c.min(d)));
+            }
+        }
+    }
+    best
+}
+
+/// `true` if `pair` may join a bin whose members are `bin`: every member
+/// must be at least `k_hops` away (and share no qubits, which distance
+/// ≥ 1 already implies).
+pub fn compatible(topo: &Topology, bin: &[(Edge, Edge)], pair: (Edge, Edge), k_hops: u32) -> bool {
+    bin.iter().all(|&other| match pair_distance(topo, pair, other) {
+        Some(d) => d >= k_hops,
+        None => true, // disconnected components can't interfere
+    })
+}
+
+/// Packs SRB pairs into parallel experiments by randomized first-fit:
+/// shuffle, place each pair into the first compatible bin (opening a new
+/// bin when none fits), repeat `attempts` times and keep the fewest bins.
+///
+/// # Panics
+///
+/// Panics if `attempts == 0`.
+///
+/// ```
+/// use xtalk_charac::binpack::pack;
+/// use xtalk_device::{Edge, Topology};
+/// let topo = Topology::line(10);
+/// // Two pairs 3 hops apart can share one experiment (k = 2).
+/// let pairs = vec![
+///     (Edge::new(0, 1), Edge::new(2, 3)),
+///     (Edge::new(6, 7), Edge::new(8, 9)),
+/// ];
+/// let bins = pack(&topo, &pairs, 2, 10, 0);
+/// assert_eq!(bins.len(), 1);
+/// ```
+pub fn pack(
+    topo: &Topology,
+    pairs: &[(Edge, Edge)],
+    k_hops: u32,
+    attempts: usize,
+    seed: u64,
+) -> Vec<Vec<(Edge, Edge)>> {
+    assert!(attempts > 0, "need at least one packing attempt");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Vec<Vec<(Edge, Edge)>>> = None;
+
+    for _ in 0..attempts {
+        let mut order: Vec<(Edge, Edge)> = pairs.to_vec();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut bins: Vec<Vec<(Edge, Edge)>> = Vec::new();
+        'pairs: for &p in &order {
+            for bin in &mut bins {
+                if compatible(topo, bin, p, k_hops) {
+                    bin.push(p);
+                    continue 'pairs;
+                }
+            }
+            bins.push(vec![p]);
+        }
+        if best.as_ref().is_none_or(|b| bins.len() < b.len()) {
+            best = Some(bins);
+        }
+    }
+    best.expect("attempts > 0")
+}
+
+/// Packs single edges (for parallel *independent* RB) into bins whose
+/// members are pairwise at least `k_hops` apart, by the same randomized
+/// first-fit. Measuring well-separated gates simultaneously is
+/// indistinguishable from isolated RB (that is Optimization 1's premise),
+/// so the full device's independent rates cost only a few experiments.
+///
+/// # Panics
+///
+/// Panics if `attempts == 0`.
+pub fn pack_edges(
+    topo: &Topology,
+    edges: &[Edge],
+    k_hops: u32,
+    attempts: usize,
+    seed: u64,
+) -> Vec<Vec<Edge>> {
+    assert!(attempts > 0, "need at least one packing attempt");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xed6e);
+    let mut best: Option<Vec<Vec<Edge>>> = None;
+    for _ in 0..attempts {
+        let mut order: Vec<Edge> = edges.to_vec();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut bins: Vec<Vec<Edge>> = Vec::new();
+        'edges: for &e in &order {
+            for bin in &mut bins {
+                let ok = bin.iter().all(|&other| match topo.edge_distance(e, other) {
+                    Some(d) => d >= k_hops,
+                    None => true,
+                });
+                if ok {
+                    bin.push(e);
+                    continue 'edges;
+                }
+            }
+            bins.push(vec![e]);
+        }
+        if best.as_ref().is_none_or(|b| bins.len() < b.len()) {
+            best = Some(bins);
+        }
+    }
+    best.expect("attempts > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_pairs_not_packed_together() {
+        let topo = Topology::line(8);
+        // These pairs are 1 hop apart (edges 2,3 and 4,5 are adjacent-ish).
+        let pairs = vec![
+            (Edge::new(0, 1), Edge::new(2, 3)),
+            (Edge::new(4, 5), Edge::new(2, 3)),
+        ];
+        // Invalid anyway (shared edge 2,3 → distance 0); with k=2 they must
+        // be in different bins.
+        let bins = pack(&topo, &pairs, 2, 5, 0);
+        assert_eq!(bins.len(), 2);
+    }
+
+    #[test]
+    fn packing_preserves_all_pairs() {
+        let topo = Topology::poughkeepsie();
+        let pairs = topo.pairs_at_distance(1);
+        let bins = pack(&topo, &pairs, 2, 20, 1);
+        let total: usize = bins.iter().map(|b| b.len()).sum();
+        assert_eq!(total, pairs.len());
+        // Compaction: strictly fewer experiments than pairs.
+        assert!(bins.len() < pairs.len(), "{} bins for {} pairs", bins.len(), pairs.len());
+    }
+
+    #[test]
+    fn packed_bins_are_internally_compatible() {
+        let topo = Topology::poughkeepsie();
+        let pairs = topo.pairs_at_distance(1);
+        for bin in pack(&topo, &pairs, 2, 10, 2) {
+            for (i, &a) in bin.iter().enumerate() {
+                for &b in &bin[i + 1..] {
+                    let d = pair_distance(&topo, a, b).unwrap();
+                    assert!(d >= 2, "pair distance {d} < 2 within a bin");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_attempts_never_worse() {
+        let topo = Topology::boeblingen();
+        let pairs = topo.pairs_at_distance(1);
+        let one = pack(&topo, &pairs, 2, 1, 3).len();
+        let many = pack(&topo, &pairs, 2, 50, 3).len();
+        assert!(many <= one);
+    }
+
+    #[test]
+    fn pair_distance_semantics() {
+        let topo = Topology::line(10);
+        let a = (Edge::new(0, 1), Edge::new(2, 3));
+        let b = (Edge::new(5, 6), Edge::new(8, 9));
+        // Closest endpoints: 3 and 5 → distance 2.
+        assert_eq!(pair_distance(&topo, a, b), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packing attempt")]
+    fn zero_attempts_rejected() {
+        pack(&Topology::line(4), &[], 2, 0, 0);
+    }
+
+    #[test]
+    fn edge_packing_covers_and_separates() {
+        let topo = Topology::poughkeepsie();
+        let edges: Vec<Edge> = topo.edges().to_vec();
+        let bins = pack_edges(&topo, &edges, 2, 20, 4);
+        assert_eq!(bins.iter().map(|b| b.len()).sum::<usize>(), edges.len());
+        assert!(bins.len() < edges.len(), "parallelization achieved");
+        for bin in &bins {
+            for (i, &a) in bin.iter().enumerate() {
+                for &b in &bin[i + 1..] {
+                    assert!(topo.edge_distance(a, b).unwrap() >= 2);
+                }
+            }
+        }
+    }
+}

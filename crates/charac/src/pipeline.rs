@@ -1,0 +1,254 @@
+//! End-to-end characterization: run a policy's experiment plan against a
+//! device and assemble the error-rate tables the scheduler consumes.
+
+use crate::policy::{CharacterizationPolicy, TimeModel};
+use crate::rb::RbConfig;
+use crate::srb::run_srb_bin;
+use std::collections::BTreeMap;
+use xtalk_device::{Device, Edge};
+
+/// Estimated error rates: the compiler-facing product of characterization
+/// (paper Figure 2). Independent rates come from daily calibration;
+/// conditional rates from SRB.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Characterization {
+    independent: BTreeMap<Edge, f64>,
+    conditional: BTreeMap<(Edge, Edge), f64>,
+}
+
+impl Characterization {
+    /// An empty characterization.
+    pub fn new() -> Self {
+        Characterization::default()
+    }
+
+    /// A characterization with *perfect* knowledge, taken straight from a
+    /// device's ground truth. Useful for tests and upper-bound studies —
+    /// a real compiler only ever sees estimates.
+    pub fn from_ground_truth(device: &Device) -> Self {
+        let mut c = Characterization::new();
+        for &e in device.topology().edges() {
+            c.set_independent(e, device.calibration().cx_error(e));
+        }
+        for ((affected, aggressor), _) in device.crosstalk().iter() {
+            c.set_conditional(
+                affected,
+                aggressor,
+                device.crosstalk().conditional_error(device.calibration(), affected, aggressor),
+            );
+        }
+        c
+    }
+
+    /// Records an independent error rate.
+    pub fn set_independent(&mut self, e: Edge, rate: f64) {
+        self.independent.insert(e, rate.clamp(0.0, 1.0));
+    }
+
+    /// Records a conditional error rate `E(of | given)`.
+    pub fn set_conditional(&mut self, of: Edge, given: Edge, rate: f64) {
+        self.conditional.insert((of, given), rate.clamp(0.0, 1.0));
+    }
+
+    /// Independent error rate `E(e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was never characterized.
+    pub fn independent(&self, e: Edge) -> f64 {
+        *self
+            .independent
+            .get(&e)
+            .unwrap_or_else(|| panic!("no independent rate for {e}"))
+    }
+
+    /// Conditional rate `E(of | given)`, if measured.
+    pub fn conditional(&self, of: Edge, given: Edge) -> Option<f64> {
+        self.conditional.get(&(of, given)).copied()
+    }
+
+    /// `E(of | given)` falling back to the independent rate when the pair
+    /// was not measured (i.e. assumed interference-free).
+    pub fn conditional_or_independent(&self, of: Edge, given: Edge) -> f64 {
+        self.conditional(of, given).unwrap_or_else(|| self.independent(of))
+    }
+
+    /// Unordered pairs whose conditional rate exceeds
+    /// `threshold × independent` in either direction — the paper's "high
+    /// crosstalk pairs" (threshold 3 in Figure 3).
+    pub fn high_pairs(&self, threshold: f64) -> Vec<(Edge, Edge)> {
+        let mut out: Vec<(Edge, Edge)> = Vec::new();
+        for (&(of, given), &cond) in &self.conditional {
+            if let Some(&ind) = self.independent.get(&of) {
+                if cond > threshold * ind {
+                    let key = if of < given { (of, given) } else { (given, of) };
+                    if !out.contains(&key) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of measured conditional entries (directed).
+    pub fn num_conditional(&self) -> usize {
+        self.conditional.len()
+    }
+
+    /// Iterates measured conditional entries.
+    pub fn conditional_iter(&self) -> impl Iterator<Item = ((Edge, Edge), f64)> + '_ {
+        self.conditional.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Cost accounting of a characterization run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CharacterizationReport {
+    /// Policy display name.
+    pub policy: &'static str,
+    /// Machine experiments performed.
+    pub num_experiments: usize,
+    /// SRB pairs measured (across all experiments).
+    pub num_pairs: usize,
+    /// Total circuit executions.
+    pub executions: u64,
+    /// Estimated machine time in hours under the [`TimeModel`].
+    pub machine_time_hours: f64,
+}
+
+/// Runs the policy's SRB plan against `device` (simulated), producing the
+/// compiler-facing [`Characterization`] plus its cost report.
+///
+/// Independent error rates are measured by *parallel isolated RB* (edges
+/// packed ≥2 hops apart, one experiment per bin) — the same protocol IBM
+/// runs daily. This keeps the independent and conditional estimates
+/// consistently biased (both include decoherence and 1q-gate
+/// contributions accrued during the sequence), so the paper's
+/// `E(gᵢ|gⱼ) > 3·E(gᵢ)` criterion compares like with like; conditional
+/// rates then come from the policy's simultaneous-RB plan.
+pub fn characterize(
+    device: &Device,
+    policy: &CharacterizationPolicy,
+    config: &RbConfig,
+    time_model: &TimeModel,
+) -> (Characterization, CharacterizationReport) {
+    let plan = policy.experiments(device.topology(), config.seed);
+    let mut charac = Characterization::new();
+    let edge_bins = crate::binpack::pack_edges(
+        device.topology(),
+        device.topology().edges(),
+        2,
+        50,
+        config.seed,
+    );
+    for bin in &edge_bins {
+        for (e, rate) in crate::srb::run_rb_bin(device, bin, config) {
+            charac.set_independent(e, rate);
+        }
+    }
+
+    let mut num_pairs = 0;
+    for bin in &plan {
+        num_pairs += bin.len();
+        for out in run_srb_bin(device, bin, config) {
+            charac.set_conditional(out.first, out.second, out.first_given_second);
+            charac.set_conditional(out.second, out.first, out.second_given_first);
+        }
+    }
+
+    let report = CharacterizationReport {
+        policy: policy.name(),
+        num_experiments: plan.len(),
+        num_pairs,
+        executions: plan.len() as u64 * config.executions(),
+        machine_time_hours: time_model.hours(plan.len(), config.executions()),
+    };
+    (charac, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RbConfig {
+        RbConfig { lengths: vec![2, 8, 16, 26], seqs_per_length: 3, shots: 96, seed: 5 }
+    }
+
+    #[test]
+    fn ground_truth_characterization_matches_device() {
+        let device = Device::poughkeepsie(3);
+        let c = Characterization::from_ground_truth(&device);
+        let e = Edge::new(10, 15);
+        assert_eq!(c.independent(e), 0.01);
+        assert!((c.conditional(e, Edge::new(11, 12)).unwrap() - 0.11).abs() < 1e-12);
+        assert_eq!(c.high_pairs(3.0).len(), 5);
+    }
+
+    #[test]
+    fn fallback_to_independent() {
+        let device = Device::poughkeepsie(3);
+        let c = Characterization::from_ground_truth(&device);
+        let of = Edge::new(0, 1);
+        let far = Edge::new(17, 18);
+        assert_eq!(c.conditional(of, far), None);
+        assert_eq!(c.conditional_or_independent(of, far), c.independent(of));
+    }
+
+    #[test]
+    fn measured_characterization_finds_planted_pairs() {
+        // Use a small line device with one strong planted pair so the
+        // test runs fast.
+        let mut device = Device::line(6, 9);
+        let mut cal = device.calibration().clone();
+        cal.set_cx_error(Edge::new(0, 1), 0.012);
+        cal.set_cx_error(Edge::new(2, 3), 0.015);
+        cal.set_cx_error(Edge::new(4, 5), 0.012);
+        device = device.with_calibration(cal);
+        let mut xt = xtalk_device::CrosstalkMap::new();
+        xt.set_symmetric(Edge::new(0, 1), Edge::new(2, 3), 9.0, 7.0);
+        let device = device.with_crosstalk(xt);
+
+        let (charac, report) = characterize(
+            &device,
+            &CharacterizationPolicy::OneHop,
+            &small_config(),
+            &TimeModel::default(),
+        );
+        let high = charac.high_pairs(3.0);
+        assert!(
+            high.contains(&(Edge::new(0, 1), Edge::new(2, 3))),
+            "planted pair not detected: {high:?}"
+        );
+        assert!(report.num_experiments > 0);
+        assert_eq!(report.policy, "Opt 1: One hop");
+    }
+
+    #[test]
+    fn report_costs_scale_with_plan() {
+        let device = Device::line(8, 1);
+        let tm = TimeModel::default();
+        let cfg = small_config();
+        let (_, all) =
+            characterize(&device, &CharacterizationPolicy::AllPairs, &cfg, &tm);
+        let (_, packed) = characterize(
+            &device,
+            &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+            &cfg,
+            &tm,
+        );
+        assert!(packed.num_experiments < all.num_experiments);
+        assert!(packed.machine_time_hours < all.machine_time_hours);
+        assert_eq!(
+            all.executions,
+            all.num_experiments as u64 * cfg.executions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no independent rate")]
+    fn missing_edge_panics() {
+        Characterization::new().independent(Edge::new(0, 1));
+    }
+}

@@ -1,0 +1,250 @@
+//! Simultaneous randomized benchmarking (SRB) of CNOT pairs.
+
+use crate::fit::{error_per_clifford, fit_decay_fixed_offset};
+use crate::rb::{rb_sequence, RbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xtalk_device::{Device, Edge};
+use xtalk_ir::Circuit;
+use xtalk_sim::{Executor, ExecutorConfig};
+
+/// Conditional error rates measured by one SRB experiment on a pair of
+/// simultaneously driven CNOTs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SrbOutcome {
+    /// First edge of the pair.
+    pub first: Edge,
+    /// Second edge of the pair.
+    pub second: Edge,
+    /// `E(first | second)` — CNOT error of `first` while `second` runs.
+    pub first_given_second: f64,
+    /// `E(second | first)`.
+    pub second_given_first: f64,
+}
+
+/// Runs SRB on every pair in `bin` *simultaneously* (one machine
+/// experiment): each pair's two edges run independent RB sequences of the
+/// same length at the same time, so crosstalk between them (and only
+/// them — bins contain pairs ≥2 hops apart) shows up in the decay.
+///
+/// Returns one [`SrbOutcome`] per pair, in order.
+///
+/// # Panics
+///
+/// Panics if a bin entry shares a qubit between its edges or across
+/// pairs, or references a non-edge.
+pub fn run_srb_bin(device: &Device, bin: &[(Edge, Edge)], config: &RbConfig) -> Vec<SrbOutcome> {
+    let topo = device.topology();
+    let mut used: Vec<u32> = Vec::new();
+    for &(a, b) in bin {
+        assert!(topo.has_edge(a) && topo.has_edge(b), "bin references a non-edge");
+        assert!(!a.shares_qubit(b), "pair {a},{b} shares a qubit");
+        for e in [a, b] {
+            for q in [e.lo(), e.hi()] {
+                assert!(!used.contains(&q), "qubit {q} reused across the bin");
+                used.push(q);
+            }
+        }
+    }
+
+    let n = topo.num_qubits();
+    let edges: Vec<Edge> = bin.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5bb5);
+
+    // survival[edge index] → (length, mean survival)
+    let mut survival: Vec<Vec<(usize, f64)>> = vec![Vec::new(); edges.len()];
+    let mut cx_counts = vec![0usize; edges.len()];
+    let mut clifford_counts = vec![0usize; edges.len()];
+
+    for &m in &config.lengths {
+        let mut means = vec![0.0f64; edges.len()];
+        for s in 0..config.seqs_per_length {
+            let mut c = Circuit::new(n, 2 * edges.len());
+            for (k, e) in edges.iter().enumerate() {
+                let [qa, qb] = e.qubits();
+                cx_counts[k] += rb_sequence(&mut c, qa, qb, m, 2 * k as u32, &mut rng);
+                clifford_counts[k] += m + 1;
+            }
+            let sched = Executor::asap_schedule(&c, device.calibration());
+            let cfg = ExecutorConfig {
+                shots: config.shots,
+                seed: config.seed ^ ((m as u64) << 24) ^ ((s as u64) << 8) ^ 0xcafe,
+                ..Default::default()
+            };
+            let counts = Executor::with_config(device, cfg).run(&sched);
+            // Survival of edge k: both of its clbits read 0.
+            for (k, mean) in means.iter_mut().enumerate() {
+                let mask: u64 = 0b11 << (2 * k);
+                let mut p = 0.0;
+                for (outcome, cnt) in counts.iter() {
+                    if outcome & mask == 0 {
+                        p += cnt as f64;
+                    }
+                }
+                *mean += p / counts.shots() as f64;
+            }
+        }
+        for (k, mean) in means.iter().enumerate() {
+            survival[k].push((m, mean / config.seqs_per_length as f64));
+        }
+    }
+
+    bin.iter()
+        .enumerate()
+        .map(|(p, &(a, b))| {
+            let ka = 2 * p;
+            let kb = 2 * p + 1;
+            SrbOutcome {
+                first: a,
+                second: b,
+                first_given_second: conditional_error(&survival[ka], cx_counts[ka], clifford_counts[ka]),
+                second_given_first: conditional_error(&survival[kb], cx_counts[kb], clifford_counts[kb]),
+            }
+        })
+        .collect()
+}
+
+/// Runs SRB on a single pair (one experiment).
+pub fn run_srb_pair(device: &Device, a: Edge, b: Edge, config: &RbConfig) -> SrbOutcome {
+    run_srb_bin(device, &[(a, b)], config)
+        .pop()
+        .expect("one pair yields one outcome")
+}
+
+/// Runs *independent* RB on several well-separated edges simultaneously
+/// (one experiment), returning each edge's estimated CNOT error. This is
+/// how daily independent-rate calibration is parallelized; callers should
+/// pack the edges with [`crate::binpack::pack_edges`] first so that no
+/// two interfere.
+///
+/// # Panics
+///
+/// Panics if edges share qubits or reference non-edges.
+pub fn run_rb_bin(device: &Device, edges: &[Edge], config: &RbConfig) -> Vec<(Edge, f64)> {
+    let topo = device.topology();
+    let mut used: Vec<u32> = Vec::new();
+    for &e in edges {
+        assert!(topo.has_edge(e), "bin references a non-edge");
+        for q in [e.lo(), e.hi()] {
+            assert!(!used.contains(&q), "qubit {q} reused across the bin");
+            used.push(q);
+        }
+    }
+    let n = topo.num_qubits();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1bb1);
+    let mut survival: Vec<Vec<(usize, f64)>> = vec![Vec::new(); edges.len()];
+    let mut cx_counts = vec![0usize; edges.len()];
+    let mut clifford_counts = vec![0usize; edges.len()];
+
+    for &m in &config.lengths {
+        let mut means = vec![0.0f64; edges.len()];
+        for s in 0..config.seqs_per_length {
+            let mut c = Circuit::new(n, 2 * edges.len());
+            for (k, e) in edges.iter().enumerate() {
+                let [qa, qb] = e.qubits();
+                cx_counts[k] += rb_sequence(&mut c, qa, qb, m, 2 * k as u32, &mut rng);
+                clifford_counts[k] += m + 1;
+            }
+            let sched = Executor::asap_schedule(&c, device.calibration());
+            let cfg = ExecutorConfig {
+                shots: config.shots,
+                seed: config.seed ^ ((m as u64) << 24) ^ ((s as u64) << 8) ^ 0xbead,
+                ..Default::default()
+            };
+            let counts = Executor::with_config(device, cfg).run(&sched);
+            for (k, mean) in means.iter_mut().enumerate() {
+                let mask: u64 = 0b11 << (2 * k);
+                let mut p = 0.0;
+                for (outcome, cnt) in counts.iter() {
+                    if outcome & mask == 0 {
+                        p += cnt as f64;
+                    }
+                }
+                *mean += p / counts.shots() as f64;
+            }
+        }
+        for (k, mean) in means.iter().enumerate() {
+            survival[k].push((m, mean / config.seqs_per_length as f64));
+        }
+    }
+
+    edges
+        .iter()
+        .enumerate()
+        .map(|(k, &e)| (e, conditional_error(&survival[k], cx_counts[k], clifford_counts[k])))
+        .collect()
+}
+
+fn conditional_error(survival: &[(usize, f64)], cx: usize, cliffords: usize) -> f64 {
+    let fit = fit_decay_fixed_offset(survival, 0.25);
+    let epc = error_per_clifford(fit.alpha, 2);
+    let cx_per_clifford = (cx as f64 / cliffords as f64).max(1e-9);
+    (epc / cx_per_clifford).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_device::CrosstalkMap;
+
+    fn device_with_factor(factor: f64) -> Device {
+        let mut device = Device::line(4, 21);
+        let mut cal = device.calibration().clone();
+        cal.set_cx_error(Edge::new(0, 1), 0.012);
+        cal.set_cx_error(Edge::new(2, 3), 0.012);
+        device = device.with_calibration(cal);
+        if factor > 1.0 {
+            let mut xt = CrosstalkMap::new();
+            xt.set_symmetric(Edge::new(0, 1), Edge::new(2, 3), factor, factor);
+            device = device.with_crosstalk(xt);
+        }
+        device
+    }
+
+    #[test]
+    fn srb_detects_high_crosstalk() {
+        let device = device_with_factor(8.0);
+        let config = RbConfig { seqs_per_length: 5, shots: 192, ..Default::default() };
+        let out = run_srb_pair(&device, Edge::new(0, 1), Edge::new(2, 3), &config);
+        // True conditional error = 0.012 × 8 ≈ 0.096.
+        assert!(
+            out.first_given_second > 0.05,
+            "conditional {} should reflect the 8x factor",
+            out.first_given_second
+        );
+        assert!(out.second_given_first > 0.05);
+    }
+
+    #[test]
+    fn srb_on_clean_pair_matches_independent() {
+        let device = device_with_factor(1.0);
+        let config = RbConfig { seqs_per_length: 5, shots: 192, ..Default::default() };
+        let out = run_srb_pair(&device, Edge::new(0, 1), Edge::new(2, 3), &config);
+        assert!(
+            out.first_given_second < 0.035,
+            "clean pair conditional {} too high",
+            out.first_given_second
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shares a qubit")]
+    fn shared_qubit_pair_rejected() {
+        let device = Device::line(3, 0);
+        run_srb_pair(&device, Edge::new(0, 1), Edge::new(1, 2), &RbConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "reused across the bin")]
+    fn overlapping_bin_rejected() {
+        let device = Device::line(6, 0);
+        run_srb_bin(
+            &device,
+            &[
+                (Edge::new(0, 1), Edge::new(2, 3)),
+                (Edge::new(2, 3), Edge::new(4, 5)),
+            ],
+            &RbConfig::default(),
+        );
+    }
+}

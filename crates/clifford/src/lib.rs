@@ -1,0 +1,37 @@
+//! Stabilizer formalism: Pauli strings, Clifford tableaux, synthesis and
+//! random sampling.
+//!
+//! Randomized benchmarking (the paper's characterization workhorse,
+//! Section 8.1) composes sequences of random Clifford group elements and
+//! appends the inverse of their product so that a noiseless run returns to
+//! the initial state. This crate supplies the group machinery:
+//!
+//! * [`PauliString`] — n-qubit Pauli operators with phase tracking.
+//! * [`CliffordTableau`] — the Aaronson–Gottesman representation of a
+//!   Clifford unitary (images of the `X_q`/`Z_q` generators under
+//!   conjugation), with composition and circuit extraction.
+//! * [`group`] — full enumerations of the 24-element single-qubit and
+//!   11520-element two-qubit Clifford groups with CX-count-optimal
+//!   decompositions (average 1.5 CNOTs per two-qubit Clifford, the
+//!   constant the paper divides by to convert Clifford error to CNOT
+//!   error).
+//! * [`random`] — uniform sampling of Clifford elements.
+//!
+//! ```
+//! use xtalk_clifford::group;
+//! let g2 = group::two_qubit_cliffords();
+//! assert_eq!(g2.len(), 11520);
+//! // Average CX cost over the whole group is exactly 1.5.
+//! let total: usize = (0..g2.len()).map(|i| g2.cx_count(i)).sum();
+//! assert_eq!(total * 2, 3 * g2.len());
+//! ```
+
+pub mod group;
+mod pauli;
+pub mod random;
+mod stabilizer;
+mod tableau;
+
+pub use pauli::PauliString;
+pub use stabilizer::StabilizerState;
+pub use tableau::{gate_tableau, instantiate, CliffordTableau};

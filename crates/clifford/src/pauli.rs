@@ -1,0 +1,256 @@
+//! n-qubit Pauli operators with phase tracking.
+
+use std::fmt;
+
+/// An n-qubit Pauli operator `i^phase · ∏_q X_q^{x_q} Z_q^{z_q}`, with
+/// factors in canonical order (ascending qubit, `X` before `Z` on each
+/// qubit) and `phase` a power of `i` modulo 4.
+///
+/// In this canonical form `Y = i·XZ` is stored as `x=1, z=1, phase=1`.
+///
+/// ```
+/// use xtalk_clifford::PauliString;
+/// let x = PauliString::single(2, 0, 'X');
+/// let z = PauliString::single(2, 0, 'Z');
+/// // ZX = -XZ: multiplying in the two orders differs by phase 2 (i² = -1).
+/// assert_eq!(x.mul(&z).phase(), 0);
+/// assert_eq!(z.mul(&x).phase(), 2);
+/// assert_eq!(x.to_string(), "+XI");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PauliString {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    phase: u8,
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString { x: vec![false; n], z: vec![false; n], phase: 0 }
+    }
+
+    /// A single-qubit Pauli (`'I'`, `'X'`, `'Y'`, `'Z'`) on qubit `q` of an
+    /// `n`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown letter or `q >= n`.
+    pub fn single(n: usize, q: usize, which: char) -> Self {
+        assert!(q < n, "qubit {q} out of range for {n}");
+        let mut p = PauliString::identity(n);
+        match which {
+            'I' => {}
+            'X' => p.x[q] = true,
+            'Y' => {
+                p.x[q] = true;
+                p.z[q] = true;
+                p.phase = 1;
+            }
+            'Z' => p.z[q] = true,
+            other => panic!("unknown pauli letter `{other}`"),
+        }
+        p
+    }
+
+    /// Builds from explicit bit vectors and phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or phase is not in `0..4`.
+    pub fn from_parts(x: Vec<bool>, z: Vec<bool>, phase: u8) -> Self {
+        assert_eq!(x.len(), z.len(), "x and z bit vectors must agree");
+        assert!(phase < 4, "phase is a power of i modulo 4");
+        PauliString { x, z, phase }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// X bit of qubit `q`.
+    pub fn x_bit(&self, q: usize) -> bool {
+        self.x[q]
+    }
+
+    /// Z bit of qubit `q`.
+    pub fn z_bit(&self, q: usize) -> bool {
+        self.z[q]
+    }
+
+    /// The phase exponent `p` in `i^p` (mod 4).
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// `true` if this is the identity with `+1` phase.
+    pub fn is_identity(&self) -> bool {
+        self.phase == 0 && self.x.iter().all(|b| !b) && self.z.iter().all(|b| !b)
+    }
+
+    /// Number of qubits on which the operator is not `I`.
+    pub fn weight(&self) -> usize {
+        (0..self.num_qubits()).filter(|&q| self.x[q] || self.z[q]).count()
+    }
+
+    /// The product `self · other` (operator composition, applied right to
+    /// left like matrix multiplication — but since we only ever use
+    /// products inside a group where order is explicit, read it simply as
+    /// "first write self's factors, then other's, then normalize").
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.num_qubits(), other.num_qubits(), "pauli widths must match");
+        let n = self.num_qubits();
+        let mut phase = (self.phase + other.phase) % 4;
+        let mut x = vec![false; n];
+        let mut z = vec![false; n];
+        for q in 0..n {
+            // Normalizing X^a Z^b · X^c Z^d requires commuting Z^b past
+            // X^c: each swap contributes (-1)^{bc} = i^{2bc}.
+            if self.z[q] && other.x[q] {
+                phase = (phase + 2) % 4;
+            }
+            x[q] = self.x[q] ^ other.x[q];
+            z[q] = self.z[q] ^ other.z[q];
+        }
+        PauliString { x, z, phase }
+    }
+
+    /// `true` if the two operators commute.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        // Symplectic product: Σ (x·z' + z·x') mod 2 == 0.
+        let mut anti = false;
+        for q in 0..self.num_qubits() {
+            anti ^= (self.x[q] && other.z[q]) ^ (self.z[q] && other.x[q]);
+        }
+        !anti
+    }
+
+    /// `true` if the operator is Hermitian (phase ±1 in canonical form —
+    /// i.e. phase parity matches the Y count).
+    pub fn is_hermitian(&self) -> bool {
+        let ys = (0..self.num_qubits()).filter(|&q| self.x[q] && self.z[q]).count();
+        (self.phase as usize).rem_euclid(2) == ys % 2
+    }
+
+    /// The sign of a Hermitian operator: `+1` or `-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is not Hermitian.
+    pub fn sign(&self) -> i8 {
+        assert!(self.is_hermitian(), "sign of a non-hermitian pauli");
+        let ys = (0..self.num_qubits()).filter(|&q| self.x[q] && self.z[q]).count() as u8;
+        if (self.phase + 4 - (ys % 4)).is_multiple_of(4) {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Display for PauliString {
+    /// Writes the Hermitian letter form when possible (`+XIZ`, `-IYI`),
+    /// falling back to an explicit `i^p` prefix.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_hermitian() {
+            write!(f, "{}", if self.sign() > 0 { '+' } else { '-' })?;
+        } else {
+            write!(f, "i^{}·", self.phase)?;
+        }
+        for q in 0..self.num_qubits() {
+            let c = match (self.x[q], self.z[q]) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (false, true) => 'Z',
+                (true, true) => 'Y',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: usize, q: usize, w: char) -> PauliString {
+        PauliString::single(n, q, w)
+    }
+
+    #[test]
+    fn single_letter_forms() {
+        assert_eq!(p(3, 1, 'X').to_string(), "+IXI");
+        assert_eq!(p(3, 2, 'Y').to_string(), "+IIY");
+        assert_eq!(p(1, 0, 'Z').to_string(), "+Z");
+        assert!(p(2, 0, 'I').is_identity());
+    }
+
+    #[test]
+    fn xz_products() {
+        let x = p(1, 0, 'X');
+        let z = p(1, 0, 'Z');
+        let y = p(1, 0, 'Y');
+        // XZ = -iY is anti-Hermitian: (XZ)† = ZX = -XZ.
+        let xz = x.mul(&z);
+        assert_eq!(xz.phase(), 0);
+        assert!(!xz.is_hermitian());
+        let zx = z.mul(&x);
+        assert_eq!(zx.phase(), 2);
+        // Y·Y = I.
+        assert!(y.mul(&y).is_identity());
+        // X·Y = iZ.
+        let xy = x.mul(&y);
+        assert_eq!(xy.phase(), 1);
+        assert!(xy.z_bit(0) && !xy.x_bit(0));
+    }
+
+    #[test]
+    fn pauli_squares_are_identity() {
+        for w in ['X', 'Y', 'Z'] {
+            assert!(p(2, 1, w).mul(&p(2, 1, w)).is_identity(), "{w}² != I");
+        }
+    }
+
+    #[test]
+    fn commutation_rules() {
+        assert!(!p(1, 0, 'X').commutes_with(&p(1, 0, 'Z')));
+        assert!(p(2, 0, 'X').commutes_with(&p(2, 1, 'Z')));
+        // XX commutes with ZZ.
+        let xx = p(2, 0, 'X').mul(&p(2, 1, 'X'));
+        let zz = p(2, 0, 'Z').mul(&p(2, 1, 'Z'));
+        assert!(xx.commutes_with(&zz));
+    }
+
+    #[test]
+    fn signs() {
+        let y = p(1, 0, 'Y');
+        assert_eq!(y.sign(), 1);
+        let minus_y = PauliString::from_parts(vec![true], vec![true], 3);
+        assert_eq!(minus_y.sign(), -1);
+        assert_eq!(minus_y.to_string(), "-Y");
+    }
+
+    #[test]
+    fn weight_counts_nonidentity() {
+        let s = p(3, 0, 'X').mul(&p(3, 2, 'Z'));
+        assert_eq!(s.weight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pauli letter")]
+    fn bad_letter() {
+        PauliString::single(1, 0, 'Q');
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn width_mismatch() {
+        p(1, 0, 'X').mul(&p(2, 0, 'X'));
+    }
+}

@@ -1,0 +1,369 @@
+//! A stabilizer-state simulator (Aaronson–Gottesman style).
+//!
+//! Where [`crate::CliffordTableau`] represents a Clifford *unitary*, a
+//! [`StabilizerState`] represents a stabilizer *state*: the `n`
+//! commuting Pauli generators that stabilize it. Clifford gates update
+//! the generators in O(n); computational-basis measurements take at most
+//! O(n²) via Gaussian elimination. This is the standard fast path for
+//! Clifford-only circuits such as randomized benchmarking sequences, and
+//! it cross-validates the statevector simulator in the test suites.
+//!
+//! ```
+//! use xtalk_clifford::StabilizerState;
+//! use xtalk_ir::Gate;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut s = StabilizerState::new(2);
+//! s.apply_gate(&Gate::H, &[0]);
+//! s.apply_gate(&Gate::Cx, &[0, 1]);
+//! // A Bell pair: the two qubits always agree.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = s.measure(0, &mut rng);
+//! let b = s.measure(1, &mut rng);
+//! assert_eq!(a, b);
+//! ```
+
+use crate::tableau::gate_tableau;
+use crate::{CliffordTableau, PauliString};
+use rand::Rng;
+use xtalk_ir::{Circuit, Gate};
+
+/// An `n`-qubit stabilizer state, stored as its stabilizer group
+/// generators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StabilizerState {
+    n: usize,
+    /// `n` independent, commuting Hermitian Paulis stabilizing the state.
+    gens: Vec<PauliString>,
+}
+
+impl StabilizerState {
+    /// The all-zeros state `|0…0⟩`, stabilized by `Z_q` for every qubit.
+    pub fn new(n: usize) -> Self {
+        StabilizerState {
+            n,
+            gens: (0..n).map(|q| PauliString::single(n, q, 'Z')).collect(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The current stabilizer generators.
+    pub fn generators(&self) -> &[PauliString] {
+        &self.gens
+    }
+
+    /// Applies a Clifford gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-Clifford gates.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+        let t = gate_tableau(self.n, gate, qubits);
+        for g in &mut self.gens {
+            *g = t.conjugate(g);
+        }
+    }
+
+    /// Applies a whole Clifford unitary at once.
+    pub fn apply_tableau(&mut self, t: &CliffordTableau) {
+        assert_eq!(t.num_qubits(), self.n, "widths must match");
+        for g in &mut self.gens {
+            *g = t.conjugate(g);
+        }
+    }
+
+    /// Runs a Clifford circuit (barriers skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurements (use [`StabilizerState::measure`]) or
+    /// non-Clifford gates.
+    pub fn run_circuit(&mut self, circuit: &Circuit) {
+        for ins in circuit.iter() {
+            if ins.gate().is_barrier() {
+                continue;
+            }
+            assert!(
+                !ins.gate().is_measurement(),
+                "run_circuit is unitary-only; measure explicitly"
+            );
+            let qs: Vec<usize> = ins.qubits().iter().map(|q| q.index()).collect();
+            self.apply_gate(ins.gate(), &qs);
+        }
+    }
+
+    /// The expectation of `Z_q`: `Some(±1)` when deterministic, `None`
+    /// when the outcome is 50/50 (i.e. `Z_q` anticommutes with some
+    /// generator).
+    pub fn z_expectation(&self, q: usize) -> Option<i8> {
+        let z = PauliString::single(self.n, q, 'Z');
+        if self.gens.iter().any(|g| !g.commutes_with(&z)) {
+            return None;
+        }
+        // Z_q commutes with the whole group: ±Z_q is in the group. Find
+        // the combination by Gaussian elimination over the generators.
+        let combo = self.express(&z)?;
+        Some(combo.sign())
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let z = PauliString::single(self.n, q, 'Z');
+        // Find a generator anticommuting with Z_q.
+        if let Some(p) = self.gens.iter().position(|g| !g.commutes_with(&z)) {
+            // Random outcome; replace the anticommuting generator with
+            // ±Z_q and fix up the others.
+            let outcome = rng.gen_bool(0.5);
+            let witness = self.gens[p].clone();
+            for (i, g) in self.gens.iter_mut().enumerate() {
+                if i != p && !g.commutes_with(&z) {
+                    *g = g.mul(&witness);
+                }
+            }
+            self.gens[p] = if outcome {
+                // −Z_q stabilizes |1⟩.
+                negate(&z)
+            } else {
+                z
+            };
+            outcome
+        } else {
+            // Deterministic outcome.
+            let combo = self.express(&z).expect("Z_q is in the commutant of the group");
+            combo.sign() < 0
+        }
+    }
+
+    /// Expresses `target` (up to sign) as a product of generators,
+    /// returning the signed product if the unsigned parts match.
+    fn express(&self, target: &PauliString) -> Option<PauliString> {
+        // Gaussian elimination over GF(2) on the (x|z) symplectic rows.
+        let cols = 2 * self.n;
+        let mut rows: Vec<(Vec<bool>, PauliString)> = self
+            .gens
+            .iter()
+            .map(|g| (bits(g), g.clone()))
+            .collect();
+        let mut want = bits(target);
+        let mut acc = PauliString::identity(self.n);
+        let mut used_row = 0usize;
+        for col in 0..cols {
+            let Some(pivot) = (used_row..rows.len()).find(|&r| rows[r].0[col]) else {
+                continue;
+            };
+            rows.swap(used_row, pivot);
+            let (prow, pop) = rows[used_row].clone();
+            for (r, (row_bits, row_op)) in rows.iter_mut().enumerate() {
+                if r != used_row && row_bits[col] {
+                    for (b, pb) in row_bits.iter_mut().zip(&prow) {
+                        *b ^= pb;
+                    }
+                    *row_op = row_op.mul(&pop);
+                }
+            }
+            if want[col] {
+                for (b, pb) in want.iter_mut().zip(&prow) {
+                    *b ^= pb;
+                }
+                acc = acc.mul(&pop);
+            }
+            used_row += 1;
+        }
+        if want.iter().any(|&b| b) {
+            return None; // target not in the group (up to sign)
+        }
+        // `acc` equals ±target (possibly with an i^2 bookkeeping phase).
+        Some(acc)
+    }
+
+    /// `true` if measuring all qubits could yield `outcome` (little-endian
+    /// bits) with nonzero probability.
+    pub fn consistent_with(&self, outcome: u64) -> bool {
+        let mut probe = self.clone();
+        for q in 0..probe.n {
+            let want = (outcome >> q) & 1 == 1;
+            match probe.z_expectation(q) {
+                // Deterministic qubit: the outcome bit must match.
+                Some(sign) => {
+                    if (sign < 0) != want {
+                        return false;
+                    }
+                }
+                // 50/50 qubit: both branches are possible; follow the
+                // wanted one and keep checking the rest.
+                None => probe.project(q, want),
+            }
+        }
+        true
+    }
+
+    /// Projects qubit `q` onto the `want` outcome (must have nonzero
+    /// probability, i.e. outcome random or already matching).
+    fn project(&mut self, q: usize, want: bool) {
+        let z = PauliString::single(self.n, q, 'Z');
+        if let Some(p) = self.gens.iter().position(|g| !g.commutes_with(&z)) {
+            let witness = self.gens[p].clone();
+            for (i, g) in self.gens.iter_mut().enumerate() {
+                if i != p && !g.commutes_with(&z) {
+                    *g = g.mul(&witness);
+                }
+            }
+            self.gens[p] = if want { negate(&z) } else { z };
+        } else {
+            let combo = self.express(&z).expect("commutant membership");
+            assert_eq!(combo.sign() < 0, want, "projecting onto a zero-probability branch");
+        }
+    }
+}
+
+fn bits(p: &PauliString) -> Vec<bool> {
+    let n = p.num_qubits();
+    let mut v = Vec::with_capacity(2 * n);
+    for q in 0..n {
+        v.push(p.x_bit(q));
+    }
+    for q in 0..n {
+        v.push(p.z_bit(q));
+    }
+    v
+}
+
+fn negate(p: &PauliString) -> PauliString {
+    let n = p.num_qubits();
+    let x: Vec<bool> = (0..n).map(|q| p.x_bit(q)).collect();
+    let z: Vec<bool> = (0..n).map(|q| p.z_bit(q)).collect();
+    PauliString::from_parts(x, z, (p.phase() + 2) % 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_state_measures_all_zero() {
+        let mut s = StabilizerState::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in 0..3 {
+            assert!(!s.measure(q, &mut rng));
+            assert_eq!(s.z_expectation(q), Some(1));
+        }
+    }
+
+    #[test]
+    fn x_flips_deterministically() {
+        let mut s = StabilizerState::new(2);
+        s.apply_gate(&Gate::X, &[1]);
+        assert_eq!(s.z_expectation(1), Some(-1));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.measure(1, &mut rng));
+        assert!(!s.measure(0, &mut rng));
+    }
+
+    #[test]
+    fn plus_state_is_random_then_sticky() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ones = 0;
+        for trial in 0..200 {
+            let mut s = StabilizerState::new(1);
+            s.apply_gate(&Gate::H, &[0]);
+            assert_eq!(s.z_expectation(0), None);
+            let first = s.measure(0, &mut rng);
+            // Collapsed: same answer forever after.
+            assert_eq!(s.measure(0, &mut rng), first, "trial {trial}");
+            if first {
+                ones += 1;
+            }
+        }
+        assert!((50..=150).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn bell_pair_is_perfectly_correlated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut s = StabilizerState::new(2);
+            s.apply_gate(&Gate::H, &[0]);
+            s.apply_gate(&Gate::Cx, &[0, 1]);
+            let a = s.measure(0, &mut rng);
+            let b = s.measure(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_collapse_cascades() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let mut s = StabilizerState::new(4);
+            s.apply_gate(&Gate::H, &[0]);
+            for q in 0..3 {
+                s.apply_gate(&Gate::Cx, &[q, q + 1]);
+            }
+            let first = s.measure(0, &mut rng);
+            for q in 1..4 {
+                assert_eq!(s.z_expectation(q), Some(if first { -1 } else { 1 }));
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_tableau_application() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = crate::random::random_clifford_circuit(3, 8, &mut rng);
+        let mut via_gates = StabilizerState::new(3);
+        via_gates.run_circuit(&c);
+        let mut via_tableau = StabilizerState::new(3);
+        via_tableau.apply_tableau(&CliffordTableau::from_circuit(&c));
+        assert_eq!(via_gates, via_tableau);
+    }
+
+    #[test]
+    fn rb_identity_sequences_return_to_zero() {
+        use crate::group::two_qubit_cliffords;
+        use crate::random::uniform_element;
+        let g2 = two_qubit_cliffords();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let mut total = CliffordTableau::identity(2);
+            let mut s = StabilizerState::new(2);
+            for _ in 0..6 {
+                let idx = uniform_element(g2, &mut rng);
+                for (g, qs) in g2.decomposition(idx) {
+                    s.apply_gate(&g, &qs);
+                    total.apply_gate(&g, &qs);
+                }
+            }
+            for (g, qs) in g2.inverse_decomposition(&total).unwrap() {
+                s.apply_gate(&g, &qs);
+            }
+            assert_eq!(s.z_expectation(0), Some(1));
+            assert_eq!(s.z_expectation(1), Some(1));
+        }
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut s = StabilizerState::new(2);
+        s.apply_gate(&Gate::H, &[0]);
+        s.apply_gate(&Gate::Cx, &[0, 1]);
+        assert!(s.consistent_with(0b00));
+        assert!(s.consistent_with(0b11));
+        assert!(!s.consistent_with(0b01));
+        assert!(!s.consistent_with(0b10));
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary-only")]
+    fn measurement_in_run_circuit_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0);
+        StabilizerState::new(1).run_circuit(&c);
+    }
+}

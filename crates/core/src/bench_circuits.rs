@@ -1,0 +1,347 @@
+//! The paper's application benchmarks (Section 8.3): QAOA
+//! hardware-efficient ansatz, Hidden Shift (with optional redundant
+//! CNOTs), and supremacy-style random circuits for scalability studies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_device::Topology;
+use xtalk_ir::Circuit;
+
+/// A 4-qubit QAOA circuit using the hardware-efficient ansatz on a line
+/// `region` of four physical qubits (the paper's 43-gate / 9-CNOT
+/// instances on crosstalk-prone Poughkeepsie regions).
+///
+/// Angles are drawn deterministically from `seed` so the ideal output
+/// distribution is reproducible.
+///
+/// # Panics
+///
+/// Panics unless `region` has exactly 4 distinct qubits.
+pub fn qaoa_ansatz(width: usize, region: &[u32], seed: u64) -> Circuit {
+    assert_eq!(region.len(), 4, "the paper's QAOA instances use 4 qubits");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a0a);
+    let mut c = Circuit::new(width, 4);
+    // Initial superposition layer.
+    for &q in region {
+        c.h(q);
+    }
+    // Three entangling layers + parameterized rotations. The entangler
+    // drives the outer pairs *in parallel* (standard hardware-efficient
+    // pairing), which is what makes these regions crosstalk-prone.
+    for _ in 0..3 {
+        c.cx(region[0], region[1]);
+        c.cx(region[2], region[3]);
+        c.cx(region[1], region[2]);
+        for &q in region {
+            c.rz(rng.gen_range(0.0..std::f64::consts::TAU), q);
+            c.rx(rng.gen_range(0.0..std::f64::consts::PI), q);
+        }
+    }
+    // Final mixing layer.
+    for &q in region {
+        c.rx(rng.gen_range(0.0..std::f64::consts::PI), q);
+    }
+    for (bit, &q) in region.iter().enumerate() {
+        c.measure(q, bit as u32);
+    }
+    c
+}
+
+/// A 4-qubit Hidden Shift instance on `region` whose noiseless output is
+/// exactly `shift` (4 bits, little-endian over the region): two layers of
+/// two parallel CNOTs sandwiched in Hadamards, cancelling to the
+/// identity, followed by X gates encoding the shift.
+///
+/// With `redundant` set, each CNOT is replaced by three (the first two
+/// forming an identity), which lengthens the windows in which parallel
+/// CNOTs overlap — the paper's trick for making the benchmark *more*
+/// susceptible to crosstalk (Figure 9b).
+///
+/// # Panics
+///
+/// Panics unless `region` has exactly 4 qubits or `shift >= 16`.
+pub fn hidden_shift(width: usize, region: &[u32], shift: u8, redundant: bool) -> Circuit {
+    assert_eq!(region.len(), 4, "hidden shift instances use 4 qubits");
+    assert!(shift < 16, "shift is 4 bits");
+    let mut c = Circuit::new(width, 4);
+    let cx = |c: &mut Circuit, a: u32, b: u32| {
+        if redundant {
+            c.cx(a, b).cx(a, b).cx(a, b);
+        } else {
+            c.cx(a, b);
+        }
+    };
+    for &q in region {
+        c.h(q);
+    }
+    // Layer 1: two parallel CNOTs.
+    cx(&mut c, region[0], region[1]);
+    cx(&mut c, region[2], region[3]);
+    for &q in region {
+        c.h(q);
+    }
+    // Layer 2 undoes layer 1 (CX self-inverse after the H sandwich).
+    for &q in region {
+        c.h(q);
+    }
+    cx(&mut c, region[0], region[1]);
+    cx(&mut c, region[2], region[3]);
+    for &q in region {
+        c.h(q);
+    }
+    // Encode the shift.
+    for (bit, &q) in region.iter().enumerate() {
+        if (shift >> bit) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    for (bit, &q) in region.iter().enumerate() {
+        c.measure(q, bit as u32);
+    }
+    c
+}
+
+/// A GHZ-state preparation chain over `region` with terminal
+/// measurements — the classic entanglement benchmark; ideal output is an
+/// even split between all-zeros and all-ones.
+///
+/// # Panics
+///
+/// Panics on an empty or repeating region.
+pub fn ghz(width: usize, region: &[u32]) -> Circuit {
+    assert!(!region.is_empty(), "GHZ needs at least one qubit");
+    for (i, q) in region.iter().enumerate() {
+        assert!(!region[i + 1..].contains(q), "qubit {q} repeated");
+    }
+    let mut c = Circuit::new(width, region.len());
+    c.h(region[0]);
+    for w in region.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    for (bit, &q) in region.iter().enumerate() {
+        c.measure(q, bit as u32);
+    }
+    c
+}
+
+/// A Bernstein–Vazirani instance over `region` recovering the hidden
+/// string `secret` in one query (used as a benchmark by the
+/// noise-adaptive-compilation line of work the paper builds on). The
+/// last region qubit is the oracle ancilla; the ideal output over the
+/// data qubits is exactly `secret`.
+///
+/// # Panics
+///
+/// Panics if `region` has fewer than 2 qubits or `secret` uses more bits
+/// than data qubits.
+pub fn bernstein_vazirani(width: usize, region: &[u32], secret: u64) -> Circuit {
+    assert!(region.len() >= 2, "BV needs data qubits plus an ancilla");
+    let data = &region[..region.len() - 1];
+    let ancilla = *region.last().expect("nonempty");
+    assert!(
+        secret < (1 << data.len()),
+        "secret uses more bits than data qubits"
+    );
+    let mut c = Circuit::new(width, data.len());
+    // Ancilla in |−⟩, data in |+⟩.
+    c.x(ancilla).h(ancilla);
+    for &q in data {
+        c.h(q);
+    }
+    // Oracle: CNOT from each secret-bit qubit into the ancilla.
+    for (bit, &q) in data.iter().enumerate() {
+        if (secret >> bit) & 1 == 1 {
+            c.cx(q, ancilla);
+        }
+    }
+    for (bit, &q) in data.iter().enumerate() {
+        c.h(q);
+        c.measure(q, bit as u32);
+    }
+    c
+}
+
+/// A quantum-supremacy-style random circuit on the given qubits of a
+/// topology: `depth` layers alternating random single-qubit gates with
+/// CNOTs on disjoint coupling edges. Used for scheduler scalability
+/// studies (paper Section 9.4); too wide to simulate, never executed.
+///
+/// # Panics
+///
+/// Panics if `qubits` repeats a qubit or references one outside the
+/// topology.
+pub fn supremacy_circuit(topo: &Topology, qubits: &[u32], depth: usize, seed: u64) -> Circuit {
+    for (i, q) in qubits.iter().enumerate() {
+        assert!((*q as usize) < topo.num_qubits(), "qubit {q} outside topology");
+        assert!(!qubits[i + 1..].contains(q), "qubit {q} repeated");
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50f1);
+    let mut c = Circuit::new(topo.num_qubits(), qubits.len());
+    let in_region = |q: u32| qubits.contains(&q);
+    let edges: Vec<_> = topo
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| in_region(e.lo()) && in_region(e.hi()))
+        .collect();
+
+    for &q in qubits {
+        c.h(q);
+    }
+    for _ in 0..depth {
+        // Random single-qubit layer.
+        for &q in qubits {
+            match rng.gen_range(0..3) {
+                0 => c.rx(std::f64::consts::FRAC_PI_2, q),
+                1 => c.ry(std::f64::consts::FRAC_PI_2, q),
+                _ => c.t(q),
+            };
+        }
+        // Random maximal-ish matching of coupling edges.
+        let mut used = vec![false; topo.num_qubits()];
+        let mut order = edges.clone();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for e in order {
+            if !used[e.lo() as usize] && !used[e.hi() as usize] && rng.gen_bool(0.8) {
+                c.cx(e.lo(), e.hi());
+                used[e.lo() as usize] = true;
+                used[e.hi() as usize] = true;
+            }
+        }
+    }
+    for (bit, &q) in qubits.iter().enumerate() {
+        c.measure(q, bit as u32);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_sim::ideal;
+
+    #[test]
+    fn qaoa_shape_matches_paper() {
+        let c = qaoa_ansatz(20, &[5, 10, 11, 12], 7);
+        assert_eq!(c.count_gate("cx"), 9, "paper instances have 9 CNOTs");
+        let unitaries =
+            c.iter().filter(|i| i.gate().is_unitary()).count();
+        assert!(
+            (38..=48).contains(&unitaries),
+            "paper instances have ~43 gates, got {unitaries}"
+        );
+        assert_eq!(c.count_gate("measure"), 4);
+    }
+
+    #[test]
+    fn qaoa_is_deterministic_per_seed() {
+        let a = qaoa_ansatz(20, &[5, 10, 11, 12], 3);
+        let b = qaoa_ansatz(20, &[5, 10, 11, 12], 3);
+        let c = qaoa_ansatz(20, &[5, 10, 11, 12], 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hidden_shift_outputs_shift() {
+        for shift in [0b0000u8, 0b1010, 0b0111, 0b1111] {
+            let c = hidden_shift(8, &[0, 1, 2, 3], shift, false);
+            let p = ideal::distribution(&c);
+            assert!(
+                (p[shift as usize] - 1.0).abs() < 1e-9,
+                "shift {shift:#06b}: p = {}",
+                p[shift as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn redundant_variant_preserves_output() {
+        let shift = 0b0110;
+        let c = hidden_shift(8, &[0, 1, 2, 3], shift, true);
+        let p = ideal::distribution(&c);
+        assert!((p[shift as usize] - 1.0).abs() < 1e-9);
+        // Three times the CNOTs of the plain variant.
+        let plain = hidden_shift(8, &[0, 1, 2, 3], shift, false);
+        assert_eq!(c.count_gate("cx"), 3 * plain.count_gate("cx"));
+    }
+
+    #[test]
+    fn hidden_shift_layers_are_parallel() {
+        let c = hidden_shift(8, &[0, 1, 2, 3], 0, false);
+        let dag = c.dag();
+        let cx: Vec<usize> = c
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.gate().is_two_qubit())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(cx.len(), 4);
+        // The two CNOTs of the first layer are independent.
+        assert!(dag.can_overlap(cx[0], cx[1]));
+    }
+
+    #[test]
+    fn ghz_is_maximally_correlated() {
+        let c = ghz(8, &[1, 2, 3, 4]);
+        let p = ideal::distribution(&c);
+        assert!((p[0b0000] - 0.5).abs() < 1e-9);
+        assert!((p[0b1111] - 0.5).abs() < 1e-9);
+        assert_eq!(c.count_gate("cx"), 3);
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for secret in [0b000u64, 0b101, 0b110, 0b111] {
+            let c = bernstein_vazirani(8, &[0, 1, 2, 3], secret);
+            let p = ideal::distribution(&c);
+            assert!(
+                (p[secret as usize] - 1.0).abs() < 1e-9,
+                "secret {secret:#05b}: p = {}",
+                p[secret as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn bv_oracle_size_tracks_secret_weight() {
+        let light = bernstein_vazirani(8, &[0, 1, 2, 3], 0b001);
+        let heavy = bernstein_vazirani(8, &[0, 1, 2, 3], 0b111);
+        assert!(heavy.count_gate("cx") > light.count_gate("cx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "more bits than data")]
+    fn bv_secret_width_checked() {
+        bernstein_vazirani(8, &[0, 1, 2], 0b1111);
+    }
+
+    #[test]
+    fn supremacy_scales_with_depth() {
+        let topo = Topology::poughkeepsie();
+        let qubits: Vec<u32> = (0..12).collect();
+        let small = supremacy_circuit(&topo, &qubits, 10, 0);
+        let large = supremacy_circuit(&topo, &qubits, 40, 0);
+        assert!(large.len() > 2 * small.len());
+        assert!(large.count_gate("cx") > 40, "depth 40 should have many CNOTs");
+        // Hardware compliant by construction.
+        for ins in large.iter().filter(|i| i.gate().is_two_qubit()) {
+            let (a, b) = ins.edge().unwrap();
+            assert!(topo.are_adjacent(a.raw(), b.raw()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4 qubits")]
+    fn qaoa_region_size_checked() {
+        qaoa_ansatz(20, &[0, 1, 2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn supremacy_rejects_duplicates() {
+        supremacy_circuit(&Topology::line(4), &[0, 1, 1], 2, 0);
+    }
+}

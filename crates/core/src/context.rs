@@ -1,0 +1,151 @@
+//! Scheduler inputs: calibration + crosstalk characterization.
+
+use xtalk_charac::Characterization;
+use xtalk_device::{Calibration, Device, Edge};
+use xtalk_ir::{Gate, Qubit};
+
+/// Everything a scheduler is allowed to know about the machine: the daily
+/// calibration (gate durations, independent errors, coherence times) and
+/// the crosstalk [`Characterization`] produced by `xtalk-charac`.
+///
+/// Crucially this does *not* expose the device's ground-truth
+/// [`xtalk_device::CrosstalkMap`] — the compiler sees measurements, the
+/// simulator sees truth (paper Figure 2).
+///
+/// ```
+/// use xtalk_core::SchedulerContext;
+/// use xtalk_device::{Device, Edge};
+/// let dev = Device::poughkeepsie(7);
+/// let ctx = SchedulerContext::from_ground_truth(&dev);
+/// // The 11x pair is visible as a high-crosstalk candidate.
+/// assert!(ctx.is_high_pair(Edge::new(10, 15), Edge::new(11, 12)));
+/// assert!(!ctx.is_high_pair(Edge::new(0, 1), Edge::new(2, 3)));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SchedulerContext {
+    calibration: Calibration,
+    characterization: Characterization,
+    threshold: f64,
+}
+
+impl SchedulerContext {
+    /// Builds a context from a device's calibration and a measured
+    /// characterization.
+    pub fn new(device: &Device, characterization: Characterization) -> Self {
+        SchedulerContext {
+            calibration: device.calibration().clone(),
+            characterization,
+            threshold: 3.0,
+        }
+    }
+
+    /// A context with *perfect* crosstalk knowledge from the device's
+    /// ground truth — the upper-bound configuration used in tests and
+    /// optimality studies.
+    pub fn from_ground_truth(device: &Device) -> Self {
+        SchedulerContext::new(device, Characterization::from_ground_truth(device))
+    }
+
+    /// Overrides the high-crosstalk threshold (default 3×, the paper's
+    /// Figure 3 criterion).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "threshold below 1 is meaningless");
+        self.threshold = threshold;
+        self
+    }
+
+    /// The calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The characterization.
+    pub fn characterization(&self) -> &Characterization {
+        &self.characterization
+    }
+
+    /// The high-crosstalk threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Duration of a gate under this calibration.
+    pub fn duration_of(&self, gate: &Gate, qubits: &[Qubit]) -> u64 {
+        self.calibration.duration_of(gate, qubits)
+    }
+
+    /// Usable coherence time `min(T1, T2)` of qubit `q`, in ns.
+    pub fn coherence_ns(&self, q: u32) -> f64 {
+        self.calibration.coherence_ns(q)
+    }
+
+    /// Independent CNOT error for an edge.
+    pub fn independent_error(&self, e: Edge) -> f64 {
+        self.characterization.independent(e)
+    }
+
+    /// The conditional error `E(of | given)` the scheduler should assume
+    /// when the two gates overlap.
+    pub fn conditional_error(&self, of: Edge, given: Edge) -> f64 {
+        self.characterization.conditional_or_independent(of, given)
+    }
+
+    /// `true` if the pair's measured conditional error exceeds
+    /// `threshold × independent` in either direction — i.e. the scheduler
+    /// should consider serializing them.
+    pub fn is_high_pair(&self, a: Edge, b: Edge) -> bool {
+        let ab = self.characterization.conditional(a, b);
+        let ba = self.characterization.conditional(b, a);
+        let ia = self.characterization.independent(a);
+        let ib = self.characterization.independent(b);
+        ab.map(|c| c > self.threshold * ia).unwrap_or(false)
+            || ba.map(|c| c > self.threshold * ib).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_context_exposes_estimates_only() {
+        let dev = Device::poughkeepsie(1);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        assert_eq!(ctx.independent_error(Edge::new(10, 15)), 0.01);
+        assert!(
+            (ctx.conditional_error(Edge::new(10, 15), Edge::new(11, 12)) - 0.11).abs() < 1e-12
+        );
+        // Unmeasured pair falls back to independent.
+        assert_eq!(
+            ctx.conditional_error(Edge::new(0, 1), Edge::new(17, 18)),
+            ctx.independent_error(Edge::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn threshold_tuning_changes_high_set() {
+        let dev = Device::poughkeepsie(1);
+        let strict = SchedulerContext::from_ground_truth(&dev).with_threshold(10.0);
+        assert!(strict.is_high_pair(Edge::new(10, 15), Edge::new(11, 12)));
+        assert!(!strict.is_high_pair(Edge::new(13, 14), Edge::new(18, 19)));
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn subunit_threshold_rejected() {
+        let dev = Device::line(2, 0);
+        let _ = SchedulerContext::from_ground_truth(&dev).with_threshold(0.5);
+    }
+
+    #[test]
+    fn durations_delegate_to_calibration() {
+        let dev = Device::line(3, 0);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let q = [Qubit::new(0), Qubit::new(1)];
+        assert_eq!(
+            ctx.duration_of(&Gate::Cx, &q),
+            dev.calibration().duration_of(&Gate::Cx, &q)
+        );
+        assert!(ctx.coherence_ns(0) > 0.0);
+    }
+}

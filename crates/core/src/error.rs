@@ -1,0 +1,74 @@
+//! Error types for routing and scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the scheduling and routing layers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The requested qubits are disconnected in the coupling graph.
+    NoPath {
+        /// Source qubit.
+        from: u32,
+        /// Destination qubit.
+        to: u32,
+    },
+    /// The circuit contains a two-qubit gate on non-adjacent qubits (it
+    /// was not routed before scheduling).
+    NotHardwareCompliant {
+        /// Offending instruction index.
+        instruction: usize,
+    },
+    /// The serialization constraints became cyclic (internal invariant;
+    /// should not escape the scheduler).
+    CyclicConstraints,
+    /// A scheduler needs crosstalk characterization data that the context
+    /// does not provide.
+    MissingCharacterization,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoPath { from, to } => {
+                write!(f, "no path between qubit {from} and qubit {to} in the coupling graph")
+            }
+            CoreError::NotHardwareCompliant { instruction } => write!(
+                f,
+                "instruction {instruction} applies a two-qubit gate to non-adjacent qubits"
+            ),
+            CoreError::CyclicConstraints => {
+                write!(f, "serialization constraints form a cycle")
+            }
+            CoreError::MissingCharacterization => {
+                write!(f, "scheduler context lacks crosstalk characterization data")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CoreError::NoPath { from: 0, to: 5 },
+            CoreError::NotHardwareCompliant { instruction: 3 },
+            CoreError::CyclicConstraints,
+            CoreError::MissingCharacterization,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

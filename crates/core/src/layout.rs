@@ -1,0 +1,390 @@
+//! Qubit layout (logical → physical placement) and SWAP-insertion
+//! routing — the "Hardware Mapping, Routing" stage of the paper's
+//! toolflow (its Figure 2), which XtalkSched consumes the output of.
+
+use crate::{CoreError, SchedulerContext};
+use std::collections::BTreeMap;
+use xtalk_device::Topology;
+use xtalk_ir::{Circuit, Gate, Instruction, Qubit};
+
+/// A bijective placement of logical circuit qubits onto physical device
+/// qubits.
+///
+/// ```
+/// use xtalk_core::layout::Layout;
+/// let l = Layout::from_mapping(&[3, 1, 0], 5).unwrap();
+/// assert_eq!(l.physical(0), 3);
+/// assert_eq!(l.logical(1), Some(1));
+/// assert_eq!(l.logical(4), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Layout {
+    /// `phys[l]` = physical qubit hosting logical qubit `l`.
+    phys: Vec<u32>,
+    /// `logi[p]` = logical qubit at physical `p`, if any.
+    logi: Vec<Option<u32>>,
+}
+
+impl Layout {
+    /// Identity placement of `n_logical` qubits on the first physical
+    /// qubits of an `n_physical`-qubit device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is too small.
+    pub fn trivial(n_logical: usize, n_physical: usize) -> Self {
+        assert!(n_logical <= n_physical, "device too small");
+        Layout::from_mapping(&(0..n_logical as u32).collect::<Vec<_>>(), n_physical)
+            .expect("identity mapping is valid")
+    }
+
+    /// Builds from an explicit `logical → physical` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns `CoreError::NotHardwareCompliant` (instruction 0) when the
+    /// mapping repeats or exceeds the physical register.
+    pub fn from_mapping(phys: &[u32], n_physical: usize) -> Result<Self, CoreError> {
+        let mut logi = vec![None; n_physical];
+        for (l, &p) in phys.iter().enumerate() {
+            if (p as usize) >= n_physical || logi[p as usize].is_some() {
+                return Err(CoreError::NotHardwareCompliant { instruction: 0 });
+            }
+            logi[p as usize] = Some(l as u32);
+        }
+        Ok(Layout { phys: phys.to_vec(), logi })
+    }
+
+    /// Number of logical qubits placed.
+    pub fn num_logical(&self) -> usize {
+        self.phys.len()
+    }
+
+    /// Physical host of logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn physical(&self, l: u32) -> u32 {
+        self.phys[l as usize]
+    }
+
+    /// Logical occupant of physical qubit `p`, if any.
+    pub fn logical(&self, p: u32) -> Option<u32> {
+        self.logi[p as usize]
+    }
+
+    /// Swaps the occupants of two physical qubits (either may be empty).
+    pub fn swap_physical(&mut self, a: u32, b: u32) {
+        let la = self.logi[a as usize];
+        let lb = self.logi[b as usize];
+        self.logi[a as usize] = lb;
+        self.logi[b as usize] = la;
+        if let Some(l) = la {
+            self.phys[l as usize] = b;
+        }
+        if let Some(l) = lb {
+            self.phys[l as usize] = a;
+        }
+    }
+
+    /// The full logical → physical vector.
+    pub fn mapping(&self) -> &[u32] {
+        &self.phys
+    }
+}
+
+/// A greedy interaction-aware initial layout: logical pairs that interact
+/// most are placed on adjacent physical qubits (BFS growth from the
+/// highest-degree physical qubit).
+pub fn greedy_layout(circuit: &Circuit, topo: &Topology) -> Layout {
+    let n_logical = circuit.num_qubits();
+    assert!(n_logical <= topo.num_qubits(), "device too small for circuit");
+
+    // Interaction weights between logical qubits.
+    let mut weight: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for ins in circuit.iter().filter(|i| i.gate().is_two_qubit()) {
+        let (a, b) = (ins.qubits()[0].raw(), ins.qubits()[1].raw());
+        let key = (a.min(b), a.max(b));
+        *weight.entry(key).or_insert(0) += 1;
+    }
+
+    // Total interaction weight per logical qubit.
+    let mut degree = vec![0usize; n_logical];
+    for (&(a, b), &w) in &weight {
+        degree[a as usize] += w;
+        degree[b as usize] += w;
+    }
+    let w_of = |a: u32, b: u32| -> usize {
+        *weight.get(&(a.min(b), a.max(b))).unwrap_or(&0)
+    };
+
+    // Incremental placement: repeatedly take the unplaced logical qubit
+    // most attached to the placed set and put it on the free physical
+    // qubit minimizing the weighted distance to its placed partners.
+    let mut phys: Vec<Option<u32>> = vec![None; n_logical];
+    let mut free: Vec<bool> = vec![true; topo.num_qubits()];
+    for _ in 0..n_logical {
+        let next = (0..n_logical as u32)
+            .filter(|&l| phys[l as usize].is_none())
+            .max_by_key(|&l| {
+                let attachment: usize = (0..n_logical as u32)
+                    .filter(|&o| phys[o as usize].is_some())
+                    .map(|o| w_of(l, o))
+                    .sum();
+                (attachment, degree[l as usize])
+            })
+            .expect("loop bounded by n_logical");
+        let placed_partners: Vec<(u32, usize)> = (0..n_logical as u32)
+            .filter_map(|o| {
+                let w = w_of(next, o);
+                phys[o as usize].filter(|_| w > 0).map(|p| (p, w))
+            })
+            .collect();
+        let best_site = (0..topo.num_qubits() as u32)
+            .filter(|&p| free[p as usize])
+            .min_by_key(|&p| {
+                if placed_partners.is_empty() {
+                    // First placement: prefer well-connected centers.
+                    (0, std::cmp::Reverse(topo.neighbors(p).len()), p)
+                } else {
+                    let cost: usize = placed_partners
+                        .iter()
+                        .map(|&(q, w)| {
+                            w * topo.qubit_distance(p, q).unwrap_or(u32::MAX / 2) as usize
+                        })
+                        .sum();
+                    (cost, std::cmp::Reverse(0), p)
+                }
+            })
+            .expect("device has free sites");
+        phys[next as usize] = Some(best_site);
+        free[best_site as usize] = false;
+    }
+    let phys: Vec<u32> = phys.into_iter().map(|p| p.expect("all placed")).collect();
+    Layout::from_mapping(&phys, topo.num_qubits()).expect("permutation is valid")
+}
+
+/// The output of routing: a hardware-compliant physical circuit plus the
+/// final layout (measurement results are already steered to the right
+/// classical bits, so callers usually only need it for chaining).
+#[derive(Clone, PartialEq, Debug)]
+pub struct RoutedCircuit {
+    /// The physical circuit (every 2q gate on a coupling edge, SWAPs
+    /// decomposed into CNOTs).
+    pub circuit: Circuit,
+    /// Placement before the first instruction.
+    pub initial_layout: Layout,
+    /// Placement after the last instruction.
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Routes a logical circuit onto `topo` starting from `layout`, inserting
+/// meet-in-the-middle SWAP chains for non-adjacent CNOTs (greedy
+/// shortest-path routing, the classic baseline the paper's toolflow
+/// invokes through Qiskit's passes).
+///
+/// # Errors
+///
+/// [`CoreError::NoPath`] if two interacting qubits lie in disconnected
+/// components.
+///
+/// # Panics
+///
+/// Panics if the circuit has more qubits than the device.
+pub fn route(circuit: &Circuit, topo: &Topology, layout: Layout) -> Result<RoutedCircuit, CoreError> {
+    assert!(circuit.num_qubits() <= topo.num_qubits(), "device too small for circuit");
+    assert_eq!(layout.num_logical(), circuit.num_qubits(), "layout width mismatch");
+    let initial_layout = layout.clone();
+    let mut layout = layout;
+    let mut out = Circuit::new(topo.num_qubits(), circuit.num_clbits());
+    let mut swaps = 0usize;
+
+    for ins in circuit.iter() {
+        match ins.gate() {
+            Gate::Barrier => {
+                let qs: Vec<Qubit> = ins
+                    .qubits()
+                    .iter()
+                    .map(|q| Qubit::new(layout.physical(q.raw())))
+                    .collect();
+                out.push(Instruction::barrier(qs));
+            }
+            Gate::Measure => {
+                let p = layout.physical(ins.qubits()[0].raw());
+                out.measure(p, ins.clbit().expect("measure has clbit").raw());
+            }
+            g if g.is_two_qubit() => {
+                let (la, lb) = (ins.qubits()[0].raw(), ins.qubits()[1].raw());
+                let (mut pa, mut pb) = (layout.physical(la), layout.physical(lb));
+                if !topo.are_adjacent(pa, pb) {
+                    let path = topo
+                        .shortest_path(pa, pb)
+                        .ok_or(CoreError::NoPath { from: pa, to: pb })?;
+                    // Meet in the middle: advance both ends along the path.
+                    let (mut l, mut r) = (0usize, path.len() - 1);
+                    while r - l > 1 {
+                        emit_swap(&mut out, path[l], path[l + 1]);
+                        layout.swap_physical(path[l], path[l + 1]);
+                        swaps += 1;
+                        l += 1;
+                        if r - l > 1 {
+                            emit_swap(&mut out, path[r], path[r - 1]);
+                            layout.swap_physical(path[r], path[r - 1]);
+                            swaps += 1;
+                            r -= 1;
+                        }
+                    }
+                    pa = layout.physical(la);
+                    pb = layout.physical(lb);
+                    debug_assert!(topo.are_adjacent(pa, pb));
+                }
+                out.push(Instruction::two_qubit(*g, Qubit::new(pa), Qubit::new(pb)));
+            }
+            g => {
+                let p = layout.physical(ins.qubits()[0].raw());
+                out.push(Instruction::single_qubit(*g, Qubit::new(p)));
+            }
+        }
+    }
+
+    Ok(RoutedCircuit { circuit: out, initial_layout, final_layout: layout, swaps_inserted: swaps })
+}
+
+/// Routes with a [`greedy_layout`] starting placement.
+///
+/// # Errors
+///
+/// See [`route`].
+pub fn route_with_greedy_layout(circuit: &Circuit, topo: &Topology) -> Result<RoutedCircuit, CoreError> {
+    route(circuit, topo, greedy_layout(circuit, topo))
+}
+
+fn emit_swap(out: &mut Circuit, a: u32, b: u32) {
+    out.cx(a, b).cx(b, a).cx(a, b);
+}
+
+/// Checks physical compliance of a routed circuit against the context's
+/// calibration (every 2q gate on a calibrated edge).
+///
+/// # Errors
+///
+/// See [`crate::sched::check_hardware_compliant`].
+pub fn verify_routed(routed: &RoutedCircuit, ctx: &SchedulerContext) -> Result<(), CoreError> {
+    crate::sched::check_hardware_compliant(&routed.circuit, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_device::Device;
+    use xtalk_sim::ideal;
+
+    #[test]
+    fn layout_swap_bookkeeping() {
+        let mut l = Layout::trivial(3, 5);
+        l.swap_physical(0, 3); // move logical 0 to physical 3
+        assert_eq!(l.physical(0), 3);
+        assert_eq!(l.logical(3), Some(0));
+        assert_eq!(l.logical(0), None);
+        l.swap_physical(3, 1); // swap logical 0 and logical 1
+        assert_eq!(l.physical(0), 1);
+        assert_eq!(l.physical(1), 3);
+    }
+
+    #[test]
+    fn invalid_mappings_rejected() {
+        assert!(Layout::from_mapping(&[0, 0], 3).is_err());
+        assert!(Layout::from_mapping(&[0, 9], 3).is_err());
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let topo = Topology::line(4);
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 1).cx(1, 2).cx(2, 3);
+        let routed = route(&c, &topo, Layout::trivial(4, 4)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.count_gate("cx"), 3);
+    }
+
+    #[test]
+    fn distant_gates_get_swap_chains() {
+        let topo = Topology::line(5);
+        let mut c = Circuit::new(5, 0);
+        c.cx(0, 4);
+        let routed = route(&c, &topo, Layout::trivial(5, 5)).unwrap();
+        assert!(routed.swaps_inserted >= 3);
+        // Compliance: all CX on edges.
+        for ins in routed.circuit.iter().filter(|i| i.gate().is_two_qubit()) {
+            let (a, b) = ins.edge().unwrap();
+            assert!(topo.are_adjacent(a.raw(), b.raw()));
+        }
+        // Final layout reflects the moves.
+        assert_ne!(routed.final_layout, routed.initial_layout);
+    }
+
+    #[test]
+    fn routing_preserves_measured_semantics() {
+        // The measured distribution over clbits is invariant under
+        // routing, whatever SWAPs were inserted.
+        let topo = Topology::poughkeepsie();
+        let mut c = Circuit::new(4, 4);
+        c.h(0).cx(0, 2).t(1).cx(1, 3).cx(0, 3).measure_all();
+        // A deliberately scattered initial layout forcing SWAPs.
+        let layout = Layout::from_mapping(&[0, 13, 6, 17], 20).unwrap();
+        let routed = route(&c, &topo, layout).unwrap();
+        assert!(routed.swaps_inserted > 0);
+        let logical = ideal::distribution(&c);
+        let physical = ideal::distribution(&routed.circuit);
+        for (a, b) in logical.iter().zip(&physical) {
+            assert!((a - b).abs() < 1e-9, "distribution changed by routing");
+        }
+    }
+
+    #[test]
+    fn greedy_layout_clusters_interacting_qubits() {
+        let topo = Topology::poughkeepsie();
+        let mut c = Circuit::new(4, 0);
+        for _ in 0..5 {
+            c.cx(0, 1).cx(1, 2).cx(2, 3);
+        }
+        let layout = greedy_layout(&c, &topo);
+        // The heaviest-interacting pairs should sit close together:
+        // total routed swaps with the greedy layout must not exceed the
+        // trivial layout's.
+        let greedy = route(&c, &topo, layout).unwrap().swaps_inserted;
+        let trivial = route(&c, &topo, Layout::trivial(4, 20)).unwrap().swaps_inserted;
+        assert!(greedy <= trivial, "greedy {greedy} vs trivial {trivial}");
+    }
+
+    #[test]
+    fn routed_output_schedules_end_to_end() {
+        use crate::{Scheduler, XtalkSched};
+        let device = Device::poughkeepsie(7);
+        let ctx = crate::SchedulerContext::from_ground_truth(&device);
+        let mut c = Circuit::new(5, 5);
+        c.h(0);
+        for q in 0..4u32 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        let routed = route_with_greedy_layout(&c, device.topology()).unwrap();
+        verify_routed(&routed, &ctx).unwrap();
+        let sched = XtalkSched::new(0.5).schedule(&routed.circuit, &ctx).unwrap();
+        sched.validate().unwrap();
+    }
+
+    #[test]
+    fn disconnected_device_reports_no_path() {
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        assert!(matches!(
+            route(&c, &topo, Layout::trivial(4, 4)),
+            Err(CoreError::NoPath { .. })
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Circuit optimization passes.
+//!
+//! The paper's toolflow invokes Qiskit's standard optimization before
+//! scheduling; the workhorse there is single-qubit gate fusion, which
+//! matters doubly here because shorter 1q chains shrink the idle windows
+//! the decoherence term penalizes.
+
+use std::f64::consts::PI;
+use xtalk_ir::{Circuit, Gate, Instruction};
+use xtalk_sim::{C64, Mat2};
+
+/// Fuses every maximal run of single-qubit unitaries on a qubit into at
+/// most one native gate (`u1` when diagonal, else `u3`), resynthesized
+/// from the accumulated 2×2 unitary. Runs are broken by two-qubit gates,
+/// measurements and barriers. Unitary-equivalent up to global phase.
+///
+/// ```
+/// use xtalk_core::optimize::fuse_single_qubit_gates;
+/// use xtalk_ir::Circuit;
+/// let mut c = Circuit::new(1, 0);
+/// c.h(0).s(0).h(0).t(0).h(0);
+/// let fused = fuse_single_qubit_gates(&c);
+/// assert_eq!(fused.len(), 1);
+/// ```
+pub fn fuse_single_qubit_gates(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::new(n, circuit.num_clbits());
+    // Pending accumulated unitary per qubit.
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: usize| {
+        if let Some(u) = pending[q].take() {
+            if let Some(gate) = resynthesize(&u) {
+                out.push(Instruction::single_qubit(gate, xtalk_ir::Qubit::from(q)));
+            }
+        }
+    };
+
+    for ins in circuit.iter() {
+        let gate = ins.gate();
+        if gate.is_single_qubit() {
+            let q = ins.qubits()[0].index();
+            let m = xtalk_sim::single_qubit_matrix(gate);
+            pending[q] = Some(match pending[q].take() {
+                Some(acc) => m.mul(&acc),
+                None => m,
+            });
+        } else {
+            for q in ins.qubits() {
+                flush(&mut out, &mut pending, q.index());
+            }
+            out.push(ins.clone());
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Resynthesizes a 2×2 unitary as a native gate: `None` for (global-phase)
+/// identity, `u1(λ)` for diagonal matrices, else `u3(θ, φ, λ)`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not unitary.
+pub fn resynthesize(u: &Mat2) -> Option<Gate> {
+    assert!(u.is_unitary(1e-9), "resynthesize needs a unitary matrix");
+    let (theta, phi, lam) = u3_params(u);
+    let eps = 1e-12;
+    if theta.abs() < eps {
+        let total = normalize_angle(phi + lam);
+        if total.abs() < eps {
+            return None; // identity up to global phase
+        }
+        return Some(Gate::U1(total));
+    }
+    Some(Gate::U3(theta, phi, lam))
+}
+
+/// Extracts `(θ, φ, λ)` such that `u3(θ, φ, λ)` equals `u` up to global
+/// phase.
+pub fn u3_params(u: &Mat2) -> (f64, f64, f64) {
+    let a = u.0[0][0];
+    let b = u.0[0][1];
+    let c = u.0[1][0];
+    let theta = 2.0 * c.norm().atan2(a.norm());
+    let eps = 1e-12;
+    if c.norm() < eps {
+        // Diagonal: u3(0, 0, λ) with λ = arg(U11) − arg(U00).
+        let lam = normalize_angle(u.0[1][1].arg() - a.arg());
+        return (0.0, 0.0, lam);
+    }
+    if a.norm() < eps {
+        // Anti-diagonal: θ = π; split the phases between φ and λ.
+        let phi = normalize_angle(c.arg());
+        let lam = normalize_angle((-b).arg());
+        return (PI, phi, lam);
+    }
+    let g = a.arg(); // global phase reference
+    let phi = normalize_angle(c.arg() - g);
+    let lam = normalize_angle((-b).arg() - g);
+    (theta, phi, lam)
+}
+
+fn normalize_angle(a: f64) -> f64 {
+    let mut a = a % (2.0 * PI);
+    if a > PI {
+        a -= 2.0 * PI;
+    } else if a < -PI {
+        a += 2.0 * PI;
+    }
+    a
+}
+
+/// `arg` helper for [`C64`] (kept local to avoid widening the sim API).
+trait Arg {
+    fn arg(&self) -> f64;
+}
+
+impl Arg for C64 {
+    fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_sim::{ideal, single_qubit_matrix};
+
+    fn fidelity(a: &Circuit, b: &Circuit) -> f64 {
+        ideal::final_state(a).fidelity(&ideal::final_state(b))
+    }
+
+    #[test]
+    fn resynthesis_roundtrips_every_gate() {
+        let gates = [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::U1(0.7),
+            Gate::U2(0.3, -1.1),
+            Gate::U3(2.2, 1.2, -0.4),
+            Gate::Rx(0.9),
+            Gate::Ry(-2.1),
+            Gate::Rz(0.33),
+        ];
+        for g in gates {
+            let m = single_qubit_matrix(&g);
+            let resynth = resynthesize(&m).expect("non-identity");
+            let m2 = single_qubit_matrix(&resynth);
+            // Equal up to global phase: |tr(m† m2)| = 2.
+            let mut tr = C64::ZERO;
+            let md = m.dagger();
+            for i in 0..2 {
+                for k in 0..2 {
+                    tr += md.0[i][k] * m2.0[k][i];
+                }
+            }
+            assert!((tr.norm() - 2.0).abs() < 1e-9, "{g}: |tr| {}", tr.norm());
+        }
+    }
+
+    #[test]
+    fn identity_chains_vanish() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).h(0).s(0).sdg(0).x(0).x(0);
+        let fused = fuse_single_qubit_gates(&c);
+        assert!(fused.is_empty(), "{fused}");
+    }
+
+    #[test]
+    fn long_chain_becomes_one_gate() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).t(0).s(0).rx(0.3, 0).ry(1.2, 0).h(0).tdg(0);
+        let fused = fuse_single_qubit_gates(&c);
+        assert_eq!(fused.len(), 1);
+        assert!(fidelity(&c, &fused) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn diagonal_chains_become_u1() {
+        let mut c = Circuit::new(1, 0);
+        c.s(0).t(0).rz(0.5, 0);
+        let fused = fuse_single_qubit_gates(&c);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused.instructions()[0].gate().name(), "u1");
+    }
+
+    #[test]
+    fn fusion_respects_two_qubit_boundaries() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).t(0).cx(0, 1).s(0).h(0);
+        let fused = fuse_single_qubit_gates(&c);
+        // h,t fuse; cx; s,h fuse → 3 instructions.
+        assert_eq!(fused.len(), 3);
+        assert!(fused.instructions()[1].gate().is_two_qubit());
+        assert!(fidelity(&c, &fused) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn fusion_respects_barriers_and_measures() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).barrier([0]).h(0).measure(0, 0);
+        let fused = fuse_single_qubit_gates(&c);
+        // The two H's must NOT cancel across the barrier.
+        assert_eq!(fused.count_gate("barrier"), 1);
+        assert_eq!(fused.len(), 4);
+        let p = ideal::distribution(&fused);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_circuits_preserve_semantics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let mut c = Circuit::new(3, 0);
+            for _ in 0..25 {
+                match rng.gen_range(0..8) {
+                    0 => c.h(rng.gen_range(0..3u32)),
+                    1 => c.t(rng.gen_range(0..3u32)),
+                    2 => c.s(rng.gen_range(0..3u32)),
+                    3 => c.rx(rng.gen_range(-3.0..3.0), rng.gen_range(0..3u32)),
+                    4 => c.rz(rng.gen_range(-3.0..3.0), rng.gen_range(0..3u32)),
+                    5 => c.u3(
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(0..3u32),
+                    ),
+                    _ => {
+                        let a = rng.gen_range(0..3u32);
+                        let b = (a + rng.gen_range(1..3u32)) % 3;
+                        c.cx(a, b)
+                    }
+                };
+            }
+            let fused = fuse_single_qubit_gates(&c);
+            assert!(fused.len() <= c.len());
+            let f = fidelity(&c, &fused);
+            assert!(f > 1.0 - 1e-9, "trial {trial}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a unitary")]
+    fn non_unitary_rejected() {
+        let z = C64::ZERO;
+        resynthesize(&Mat2([[C64::ONE, C64::ONE], [z, z]]));
+    }
+}

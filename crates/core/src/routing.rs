@@ -1,0 +1,201 @@
+//! SWAP-path routing: the communication primitive of
+//! nearest-neighbor-connected superconducting machines (paper Section
+//! 8.3).
+
+use crate::{CoreError, SchedulerContext};
+use xtalk_device::{Edge, Topology};
+use xtalk_ir::{Circuit, Qubit};
+
+/// A meet-in-the-middle SWAP benchmark between two distant qubits: a
+/// Hadamard on `a`, SWAP chains moving both endpoints toward the middle
+/// of the shortest path, and a final CNOT creating a Bell pair on the
+/// middle edge (the paper's known-answer construction for tomography).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SwapBenchmark {
+    /// The routed circuit (SWAPs decomposed into CNOTs, no measurements).
+    pub circuit: Circuit,
+    /// Where the Bell pair ends up.
+    pub bell_pair: (Qubit, Qubit),
+    /// The qubit path used.
+    pub path: Vec<u32>,
+}
+
+/// Builds the meet-in-the-middle SWAP benchmark from `a` to `b`.
+///
+/// For the paper's Poughkeepsie example `0 ↔ 13` this produces
+/// `h 0; swap 0,5; swap 13,12; swap 5,10; swap 12,11; cx 10,11` (SWAPs
+/// decomposed into three CNOTs each).
+///
+/// # Errors
+///
+/// [`CoreError::NoPath`] if the qubits are disconnected.
+///
+/// # Panics
+///
+/// Panics if `a == b` or they are already adjacent (no SWAPs to study).
+pub fn swap_benchmark(topo: &Topology, a: u32, b: u32) -> Result<SwapBenchmark, CoreError> {
+    assert_ne!(a, b, "endpoints must differ");
+    let path = topo.shortest_path(a, b).ok_or(CoreError::NoPath { from: a, to: b })?;
+    assert!(path.len() > 2, "qubits {a},{b} are adjacent; nothing to route");
+
+    let mut circuit = Circuit::new(topo.num_qubits(), 2);
+    circuit.h(a);
+    let (mut l, mut r) = (0usize, path.len() - 1);
+    while r - l > 1 {
+        swap_as_cx(&mut circuit, path[l], path[l + 1]);
+        l += 1;
+        if r - l > 1 {
+            swap_as_cx(&mut circuit, path[r], path[r - 1]);
+            r -= 1;
+        }
+    }
+    circuit.cx(path[l], path[r]);
+    Ok(SwapBenchmark {
+        circuit,
+        bell_pair: (Qubit::new(path[l]), Qubit::new(path[r])),
+        path,
+    })
+}
+
+/// Convenience: just the circuit of [`swap_benchmark`].
+///
+/// # Errors
+///
+/// Same as [`swap_benchmark`].
+pub fn swap_circuit_between(topo: &Topology, a: u32, b: u32) -> Result<Circuit, CoreError> {
+    swap_benchmark(topo, a, b).map(|s| s.circuit)
+}
+
+/// Appends `swap x,y` decomposed into three CNOTs.
+fn swap_as_cx(circuit: &mut Circuit, x: u32, y: u32) {
+    circuit.cx(x, y).cx(y, x).cx(x, y);
+}
+
+/// The coupling edges a path's SWAP chain drives.
+pub fn path_edges(path: &[u32]) -> Vec<Edge> {
+    path.windows(2).map(|w| Edge::new(w[0], w[1])).collect()
+}
+
+/// `true` if no pair of edges along the path interferes above the
+/// context's threshold — such paths are the paper's "crosstalk-free"
+/// baselines (Figure 7).
+pub fn path_is_crosstalk_free(ctx: &SchedulerContext, path: &[u32]) -> bool {
+    let edges = path_edges(path);
+    for (i, &a) in edges.iter().enumerate() {
+        for &b in &edges[i + 1..] {
+            if !a.shares_qubit(b) && ctx.is_high_pair(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All endpoint pairs at the given path length whose shortest path is
+/// crosstalk-free (respectively crosstalk-affected when `free` is
+/// false). Used to pick the evaluation sets of Figures 5 and 7.
+pub fn endpoint_pairs_by_crosstalk(
+    topo: &Topology,
+    ctx: &SchedulerContext,
+    path_len: u32,
+    free: bool,
+) -> Vec<(u32, u32)> {
+    let n = topo.num_qubits() as u32;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if topo.qubit_distance(a, b) == Some(path_len) {
+                if let Some(path) = topo.shortest_path(a, b) {
+                    if path_is_crosstalk_free(ctx, &path) == free {
+                        out.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_device::Device;
+    use xtalk_sim::ideal;
+
+    #[test]
+    fn paper_example_path_0_to_13() {
+        let topo = Topology::poughkeepsie();
+        let b = swap_benchmark(&topo, 0, 13).unwrap();
+        assert_eq!(b.path, vec![0, 5, 10, 11, 12, 13]);
+        assert_eq!(b.bell_pair, (Qubit::new(10), Qubit::new(11)));
+        // 4 SWAPs × 3 CX + 1 CX = 13 CNOTs.
+        assert_eq!(b.circuit.count_gate("cx"), 13);
+        assert_eq!(b.circuit.count_gate("h"), 1);
+    }
+
+    #[test]
+    fn produces_a_bell_pair() {
+        let topo = Topology::line(6);
+        let b = swap_benchmark(&topo, 0, 5).unwrap();
+        let mut c = b.circuit.clone();
+        let (qa, qb) = b.bell_pair;
+        c.measure(qa, 0).measure(qb, 1);
+        let p = ideal::distribution(&c);
+        assert!((p[0b00] - 0.5).abs() < 1e-9, "p00 {}", p[0b00]);
+        assert!((p[0b11] - 0.5).abs() < 1e-9, "p11 {}", p[0b11]);
+    }
+
+    #[test]
+    fn all_gates_are_hardware_compliant() {
+        let topo = Topology::poughkeepsie();
+        for (a, b) in [(0, 13), (4, 16), (9, 10), (1, 13)] {
+            let bench = swap_benchmark(&topo, a, b).unwrap();
+            for ins in bench.circuit.iter().filter(|i| i.gate().is_two_qubit()) {
+                let e = Edge::from(ins.edge().unwrap());
+                assert!(topo.has_edge(e), "{e} not an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_reports_no_path() {
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            swap_circuit_between(&topo, 0, 3),
+            Err(CoreError::NoPath { from: 0, to: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn adjacent_endpoints_rejected() {
+        let topo = Topology::line(3);
+        let _ = swap_benchmark(&topo, 0, 1);
+    }
+
+    #[test]
+    fn crosstalk_free_path_detection() {
+        let dev = Device::poughkeepsie(1);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        // 0-1-2-3 stays clear of the hot pairs.
+        assert!(path_is_crosstalk_free(&ctx, &[0, 1, 2, 3]));
+        // 5-10 vs 11-12 is a planted 4x pair.
+        assert!(!path_is_crosstalk_free(&ctx, &[5, 10, 11, 12]));
+    }
+
+    #[test]
+    fn endpoint_pair_scan_is_consistent() {
+        let dev = Device::poughkeepsie(1);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let topo = dev.topology();
+        for len in 3..=5 {
+            let free = endpoint_pairs_by_crosstalk(topo, &ctx, len, true);
+            let hot = endpoint_pairs_by_crosstalk(topo, &ctx, len, false);
+            assert!(!free.is_empty(), "no free paths at length {len}");
+            assert!(!hot.is_empty(), "no hot paths at length {len}");
+            for (a, b) in free.iter().chain(&hot) {
+                assert_eq!(topo.qubit_distance(*a, *b), Some(len));
+            }
+        }
+    }
+}

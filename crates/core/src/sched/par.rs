@@ -1,0 +1,69 @@
+//! `ParSched`: maximum parallelism, right-aligned — the IBM Qiskit
+//! default scheduler of the paper's era (Table 1).
+
+use crate::sched::{check_hardware_compliant, Scheduler};
+use crate::{realize, CoreError, SchedulerContext};
+use xtalk_ir::{Circuit, ScheduledCircuit};
+
+/// Schedules every instruction as early as dependencies allow, then
+/// right-aligns (gates execute as late as possible, readouts
+/// simultaneously at the end) — maximizing parallelism to minimize
+/// decoherence, with no crosstalk awareness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ParSched;
+
+impl ParSched {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        ParSched
+    }
+}
+
+impl Scheduler for ParSched {
+    fn schedule(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+    ) -> Result<ScheduledCircuit, CoreError> {
+        check_hardware_compliant(circuit, ctx)?;
+        realize(circuit, ctx, &[])
+    }
+
+    fn name(&self) -> &'static str {
+        "ParSched"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_device::Device;
+
+    #[test]
+    fn maximally_parallel() {
+        let dev = Device::line(6, 0);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(6, 0);
+        c.cx(0, 1).cx(2, 3).cx(4, 5);
+        let sched = ParSched::new().schedule(&c, &ctx).unwrap();
+        // All three CNOTs overlap pairwise (they all end at the makespan).
+        assert_eq!(sched.overlapping_two_qubit_pairs().len(), 3);
+    }
+
+    #[test]
+    fn rejects_unrouted_circuits() {
+        let dev = Device::line(4, 0);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        assert!(matches!(
+            ParSched::new().schedule(&c, &ctx),
+            Err(CoreError::NotHardwareCompliant { .. })
+        ));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(ParSched::new().name(), "ParSched");
+    }
+}

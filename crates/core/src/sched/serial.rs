@@ -1,0 +1,94 @@
+//! `SerialSched`: everything serialized — the crosstalk-free but
+//! decoherence-heavy baseline (Table 1).
+
+use crate::sched::{check_hardware_compliant, Scheduler};
+use crate::{realize, CoreError, SchedulerContext};
+use xtalk_ir::{Circuit, ScheduledCircuit};
+
+/// Serializes every unitary instruction in program order (readouts still
+/// fire simultaneously at the end, as the hardware requires). No two
+/// gates ever overlap, so crosstalk never triggers — at the price of the
+/// longest possible schedule and maximal decoherence exposure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SerialSched;
+
+impl SerialSched {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        SerialSched
+    }
+}
+
+impl Scheduler for SerialSched {
+    fn schedule(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+    ) -> Result<ScheduledCircuit, CoreError> {
+        check_hardware_compliant(circuit, ctx)?;
+        // Chain consecutive unitaries; measurements and barriers stay
+        // governed by their data dependencies (and right-alignment).
+        let unitary: Vec<usize> = circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| ins.gate().is_unitary())
+            .map(|(i, _)| i)
+            .collect();
+        let chain: Vec<(usize, usize)> =
+            unitary.windows(2).map(|w| (w[0], w[1])).collect();
+        realize(circuit, ctx, &chain)
+    }
+
+    fn name(&self) -> &'static str {
+        "SerialSched"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::schedule_cost;
+    use crate::ParSched;
+    use xtalk_device::Device;
+
+    #[test]
+    fn no_overlaps_ever() {
+        let dev = Device::line(6, 0);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(6, 6);
+        c.cx(0, 1).cx(2, 3).cx(4, 5).cx(0, 1).measure_all();
+        let sched = SerialSched::new().schedule(&c, &ctx).unwrap();
+        assert!(sched.overlapping_two_qubit_pairs().is_empty());
+    }
+
+    #[test]
+    fn longer_than_parallel() {
+        // Terminal readouts are what make serialization costly: they fire
+        // simultaneously at the end, so serialized gates leave earlier
+        // qubits idling (decohering) until readout.
+        let dev = Device::line(6, 0);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(6, 6);
+        c.cx(0, 1).cx(2, 3).cx(4, 5).measure_all();
+        let ser = SerialSched::new().schedule(&c, &ctx).unwrap();
+        let par = ParSched::new().schedule(&c, &ctx).unwrap();
+        assert!(ser.makespan() > par.makespan());
+        // Pure-decoherence cost favors the parallel schedule.
+        assert!(schedule_cost(&par, &ctx, 0.0) < schedule_cost(&ser, &ctx, 0.0));
+    }
+
+    #[test]
+    fn crosstalk_free_cost_matches_independent_rates() {
+        let dev = Device::poughkeepsie(2);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(20, 0);
+        c.cx(10, 15).cx(11, 12);
+        let sched = SerialSched::new().schedule(&c, &ctx).unwrap();
+        let crosstalk_term = schedule_cost(&sched, &ctx, 1.0);
+        let expected = ctx
+            .independent_error(xtalk_device::Edge::new(10, 15))
+            .ln()
+            + ctx.independent_error(xtalk_device::Edge::new(11, 12)).ln();
+        assert!((crosstalk_term - expected).abs() < 1e-9);
+    }
+}

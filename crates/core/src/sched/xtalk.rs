@@ -1,0 +1,482 @@
+//! `XtalkSched`: the crosstalk-adaptive scheduler (paper Sections 6–7).
+
+use crate::sched::{check_hardware_compliant, schedule_cost, Scheduler};
+use crate::{realize, CoreError, SchedulerContext};
+use std::collections::BTreeSet;
+use xtalk_device::Edge;
+use xtalk_ir::{Circuit, ScheduledCircuit};
+
+/// The crosstalk-adaptive scheduler: decides, for every pair of
+/// potentially-overlapping high-crosstalk CNOTs, whether to serialize
+/// them (and in which order) or let them overlap, minimizing the
+/// ω-weighted objective of Eq. 17.
+///
+/// Two engines are provided:
+///
+/// * [`XtalkSched::schedule`] — a lazy conflict-driven branch-and-bound:
+///   realize the schedule, find an *actually overlapping* high-crosstalk
+///   pair, branch three ways (serialize either way, or waive), recurse.
+///   Only pairs that really conflict are branched on, so large circuits
+///   with few hot spots stay cheap; a leaf budget makes it anytime.
+/// * [`XtalkSched::schedule_via_smt`] — the same decision space encoded
+///   eagerly into the [`xtalk_smt`] optimizer (one boolean per
+///   serialization direction, guarded difference constraints), mirroring
+///   the paper's Z3 formulation. Exponential in candidate pairs; used to
+///   cross-validate the lazy engine on small instances.
+///
+/// `ω = 0` considers only decoherence (≈ `ParSched`); `ω = 1` only
+/// crosstalk (serializes every interfering pair, ≈ `SerialSched` on
+/// crosstalk-dominated circuits).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct XtalkSched {
+    omega: f64,
+    max_leaves: u64,
+    ordering: OrderingPolicy,
+}
+
+/// How serialization *order* is decided when a pair must be serialized.
+///
+/// The paper's Figure 6 shows the order matters: putting SWAP 5,10 after
+/// SWAP 11,12 keeps the low-coherence qubit 10's lifetime short.
+/// [`OrderingPolicy::Optimal`] searches both orders;
+/// [`OrderingPolicy::ProgramOrder`] is the degraded baseline that always
+/// keeps the earlier instruction first (used by the ordering ablation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrderingPolicy {
+    /// Branch on both orders and keep the cheaper (the paper's behaviour).
+    #[default]
+    Optimal,
+    /// Always serialize in program order (ablation baseline).
+    ProgramOrder,
+}
+
+/// Diagnostics from a scheduling run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct XtalkSchedReport {
+    /// Objective value of the chosen schedule.
+    pub cost: f64,
+    /// Leaves (complete schedules) evaluated.
+    pub leaves: u64,
+    /// The serialization decisions taken, as instruction-index pairs
+    /// `(first, second)`.
+    pub serializations: Vec<(usize, usize)>,
+    /// Number of candidate high-crosstalk gate pairs considered.
+    pub candidate_pairs: usize,
+}
+
+impl XtalkSched {
+    /// Creates the scheduler with crosstalk weight `omega ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is outside `[0, 1]`.
+    pub fn new(omega: f64) -> Self {
+        assert!((0.0..=1.0).contains(&omega), "omega must be in [0, 1], got {omega}");
+        XtalkSched { omega, max_leaves: 100_000, ordering: OrderingPolicy::Optimal }
+    }
+
+    /// Selects the serialization-ordering policy (see [`OrderingPolicy`]).
+    pub fn with_ordering(mut self, ordering: OrderingPolicy) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Overrides the anytime leaf budget.
+    pub fn with_max_leaves(mut self, max_leaves: u64) -> Self {
+        assert!(max_leaves > 0, "need at least one leaf");
+        self.max_leaves = max_leaves;
+        self
+    }
+
+    /// The crosstalk weight factor.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Candidate high-crosstalk pairs: unordered pairs of two-qubit
+    /// instructions that may overlap (neither depends on the other) and
+    /// whose edges interfere above the context threshold — the pruned
+    /// `CanOlp` sets of the paper.
+    pub fn candidate_pairs(circuit: &Circuit, ctx: &SchedulerContext) -> Vec<(usize, usize)> {
+        let dag = circuit.dag();
+        let twoq: Vec<usize> = circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| ins.gate().is_two_qubit())
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = Vec::new();
+        for (a, &i) in twoq.iter().enumerate() {
+            let ei = Edge::from(circuit.instructions()[i].edge().expect("edge"));
+            for &j in &twoq[a + 1..] {
+                let ej = Edge::from(circuit.instructions()[j].edge().expect("edge"));
+                if !ei.shares_qubit(ej) && dag.can_overlap(i, j) && ctx.is_high_pair(ei, ej) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Schedules and returns diagnostics alongside the schedule.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule_with_report(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+    ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        check_hardware_compliant(circuit, ctx)?;
+        let candidates: BTreeSet<(usize, usize)> =
+            Self::candidate_pairs(circuit, ctx).into_iter().collect();
+
+        let mut search = Search {
+            circuit,
+            ctx,
+            omega: self.omega,
+            candidates: &candidates,
+            best: None,
+            leaves: 0,
+            max_leaves: self.max_leaves,
+            ordering: self.ordering,
+        };
+        let mut serialized = Vec::new();
+        let mut waived = BTreeSet::new();
+        search.recurse(&mut serialized, &mut waived);
+
+        let (cost, sched, serializations) =
+            search.best.ok_or(CoreError::CyclicConstraints)?;
+        let report = XtalkSchedReport {
+            cost,
+            leaves: search.leaves,
+            serializations,
+            candidate_pairs: candidates.len(),
+        };
+        Ok((sched, report))
+    }
+
+    /// The eager SMT-style formulation: one boolean per serialization
+    /// direction with guarded difference constraints, minimized by
+    /// [`xtalk_smt::Optimizer`]. Exponential in the number of candidate
+    /// pairs — use for small circuits and cross-validation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule_via_smt(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+    ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        check_hardware_compliant(circuit, ctx)?;
+        let candidates = Self::candidate_pairs(circuit, ctx);
+
+        let durations: Vec<i64> = circuit
+            .iter()
+            .map(|ins| ctx.duration_of(ins.gate(), ins.qubits()) as i64)
+            .collect();
+        let dag = circuit.dag();
+
+        let mut model = xtalk_smt::Model::new();
+        let tau: Vec<xtalk_smt::RealVar> =
+            (0..circuit.len()).map(|_| model.real_var()).collect();
+        for j in 0..circuit.len() {
+            for &i in dag.predecessors(j) {
+                model.require(model.ge_diff(tau[j], tau[i], durations[i]));
+            }
+        }
+        let mut pair_bools = Vec::new();
+        for &(i, j) in &candidates {
+            let bij = model.bool_var();
+            let bji = model.bool_var();
+            model.guard(bij, model.ge_diff(tau[j], tau[i], durations[i]));
+            model.guard(bji, model.ge_diff(tau[i], tau[j], durations[j]));
+            model.at_most_one(vec![bij, bji]);
+            pair_bools.push(((i, j), bij, bji));
+        }
+
+        type PairBool = ((usize, usize), xtalk_smt::BoolVar, xtalk_smt::BoolVar);
+        struct CostObj<'a> {
+            circuit: &'a Circuit,
+            ctx: &'a SchedulerContext,
+            omega: f64,
+            pair_bools: &'a [PairBool],
+        }
+        impl CostObj<'_> {
+            fn serializations(&self, bools: &[bool]) -> Vec<(usize, usize)> {
+                let mut out = Vec::new();
+                for &((i, j), bij, bji) in self.pair_bools {
+                    if bools[bij.index()] {
+                        out.push((i, j));
+                    } else if bools[bji.index()] {
+                        out.push((j, i));
+                    }
+                }
+                out
+            }
+        }
+        impl xtalk_smt::Objective for CostObj<'_> {
+            fn evaluate(&self, bools: &[bool], _times: &[i64]) -> f64 {
+                match realize(self.circuit, self.ctx, &self.serializations(bools)) {
+                    Ok(sched) => schedule_cost(&sched, self.ctx, self.omega),
+                    Err(_) => f64::INFINITY,
+                }
+            }
+        }
+
+        let obj = CostObj { circuit, ctx, omega: self.omega, pair_bools: &pair_bools };
+        let sol = xtalk_smt::Optimizer::new(model)
+            .minimize(&obj)
+            .ok_or(CoreError::CyclicConstraints)?;
+        let serializations = obj.serializations(&sol.bools);
+        let sched = realize(circuit, ctx, &serializations)?;
+        let report = XtalkSchedReport {
+            cost: sol.cost,
+            leaves: sol.leaves,
+            serializations,
+            candidate_pairs: candidates.len(),
+        };
+        Ok((sched, report))
+    }
+}
+
+impl Scheduler for XtalkSched {
+    fn schedule(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+    ) -> Result<ScheduledCircuit, CoreError> {
+        self.schedule_with_report(circuit, ctx).map(|(s, _)| s)
+    }
+
+    fn name(&self) -> &'static str {
+        "XtalkSched"
+    }
+}
+
+/// `(cost, schedule, serializations)` of the incumbent best solution.
+type Incumbent = (f64, ScheduledCircuit, Vec<(usize, usize)>);
+
+struct Search<'a> {
+    circuit: &'a Circuit,
+    ctx: &'a SchedulerContext,
+    omega: f64,
+    candidates: &'a BTreeSet<(usize, usize)>,
+    best: Option<Incumbent>,
+    leaves: u64,
+    max_leaves: u64,
+    ordering: OrderingPolicy,
+}
+
+impl Search<'_> {
+    /// Severity of a pair: the worst conditional error the scheduler
+    /// believes the overlap causes.
+    fn severity(&self, i: usize, j: usize) -> f64 {
+        let ei = Edge::from(self.circuit.instructions()[i].edge().expect("edge"));
+        let ej = Edge::from(self.circuit.instructions()[j].edge().expect("edge"));
+        self.ctx
+            .conditional_error(ei, ej)
+            .max(self.ctx.conditional_error(ej, ei))
+    }
+
+    fn recurse(
+        &mut self,
+        serialized: &mut Vec<(usize, usize)>,
+        waived: &mut BTreeSet<(usize, usize)>,
+    ) {
+        if self.leaves >= self.max_leaves {
+            return;
+        }
+        let Ok(sched) = realize(self.circuit, self.ctx, serialized) else {
+            return; // cyclic serializations: dead branch
+        };
+
+        // The most severe *actual* conflict not yet decided.
+        let conflict = sched
+            .overlapping_two_qubit_pairs()
+            .into_iter()
+            .map(|(i, j)| if i < j { (i, j) } else { (j, i) })
+            .filter(|p| self.candidates.contains(p) && !waived.contains(p))
+            .max_by(|&(a, b), &(c, d)| self.severity(a, b).total_cmp(&self.severity(c, d)));
+
+        match conflict {
+            None => {
+                self.leaves += 1;
+                let cost = schedule_cost(&sched, self.ctx, self.omega);
+                if self.best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    self.best = Some((cost, sched, serialized.clone()));
+                }
+            }
+            Some((i, j)) => {
+                let orders: &[(usize, usize)] = match self.ordering {
+                    OrderingPolicy::Optimal => &[(i, j), (j, i)],
+                    // (i, j) is normalized with i < j, i.e. program order.
+                    OrderingPolicy::ProgramOrder => &[(i, j)],
+                };
+                for &order in orders {
+                    serialized.push(order);
+                    self.recurse(serialized, waived);
+                    serialized.pop();
+                }
+                waived.insert((i, j));
+                self.recurse(serialized, waived);
+                waived.remove(&(i, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParSched, SerialSched};
+    use xtalk_device::Device;
+
+    /// Two interleaved CNOT chains crossing the Poughkeepsie 11x hot
+    /// spot: gates on (10,15) and (11,12) can run in parallel.
+    fn hot_circuit() -> Circuit {
+        let mut c = Circuit::new(20, 4);
+        for _ in 0..3 {
+            c.cx(10, 15).cx(11, 12);
+        }
+        c.measure(10, 0).measure(15, 1).measure(11, 2).measure(12, 3);
+        c
+    }
+
+    fn pough_ctx() -> SchedulerContext {
+        SchedulerContext::from_ground_truth(&Device::poughkeepsie(1))
+    }
+
+    #[test]
+    fn candidates_found_on_hot_pairs_only() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let cands = XtalkSched::candidate_pairs(&c, &ctx);
+        // 3 gates on each edge → 9 cross pairs.
+        assert_eq!(cands.len(), 9);
+
+        let mut cold = Circuit::new(20, 0);
+        cold.cx(0, 1).cx(2, 3);
+        assert!(XtalkSched::candidate_pairs(&cold, &ctx).is_empty());
+    }
+
+    #[test]
+    fn beats_both_baselines_on_objective() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let omega = 0.5;
+        let (sched, report) = XtalkSched::new(omega).schedule_with_report(&c, &ctx).unwrap();
+        let par = ParSched::new().schedule(&c, &ctx).unwrap();
+        let ser = SerialSched::new().schedule(&c, &ctx).unwrap();
+        assert!(report.cost <= schedule_cost(&par, &ctx, omega) + 1e-9);
+        assert!(report.cost <= schedule_cost(&ser, &ctx, omega) + 1e-9);
+        // It actually serialized something.
+        assert!(!report.serializations.is_empty());
+        sched.validate().unwrap();
+    }
+
+    #[test]
+    fn omega_one_eliminates_hot_overlaps() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let (sched, _) = XtalkSched::new(1.0).schedule_with_report(&c, &ctx).unwrap();
+        for (i, j) in sched.overlapping_two_qubit_pairs() {
+            let p = if i < j { (i, j) } else { (j, i) };
+            assert!(
+                !XtalkSched::candidate_pairs(&c, &ctx).contains(&p),
+                "high pair {p:?} still overlaps at ω=1"
+            );
+        }
+    }
+
+    #[test]
+    fn omega_zero_costs_no_more_than_parsched() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let (_, report) = XtalkSched::new(0.0).schedule_with_report(&c, &ctx).unwrap();
+        let par = ParSched::new().schedule(&c, &ctx).unwrap();
+        assert!(report.cost <= schedule_cost(&par, &ctx, 0.0) + 1e-9);
+    }
+
+    #[test]
+    fn lazy_and_smt_engines_agree() {
+        let ctx = pough_ctx();
+        // Small instance: one gate on each hot edge.
+        let mut c = Circuit::new(20, 0);
+        c.cx(10, 15).cx(11, 12).cx(13, 14).cx(18, 19);
+        for omega in [0.2, 0.5, 0.8] {
+            let s = XtalkSched::new(omega);
+            let (_, lazy) = s.schedule_with_report(&c, &ctx).unwrap();
+            let (_, smt) = s.schedule_via_smt(&c, &ctx).unwrap();
+            assert!(
+                (lazy.cost - smt.cost).abs() < 1e-9,
+                "ω={omega}: lazy {} vs smt {}",
+                lazy.cost,
+                smt.cost
+            );
+        }
+    }
+
+    #[test]
+    fn no_candidates_means_parsched_equivalent() {
+        let dev = Device::line(6, 2);
+        let ctx = SchedulerContext::from_ground_truth(&dev);
+        let mut c = Circuit::new(6, 0);
+        c.cx(0, 1).cx(2, 3).cx(4, 5);
+        let (sched, report) = XtalkSched::new(0.5).schedule_with_report(&c, &ctx).unwrap();
+        assert_eq!(report.candidate_pairs, 0);
+        assert_eq!(report.leaves, 1);
+        let par = ParSched::new().schedule(&c, &ctx).unwrap();
+        assert_eq!(sched, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be in")]
+    fn omega_range_checked() {
+        XtalkSched::new(1.5);
+    }
+
+    #[test]
+    fn optimal_ordering_beats_program_order_on_fig6_case() {
+        // The Figure 6 insight: serializing SWAP 5,10 *after* SWAP 11,12
+        // spares low-coherence qubit 10. Program-order serialization
+        // cannot express that and must cost at least as much.
+        let ctx = pough_ctx();
+        let bench =
+            crate::routing::swap_benchmark(&xtalk_device::Topology::poughkeepsie(), 0, 13)
+                .unwrap();
+        let omega = 0.5;
+        let (_, optimal) =
+            XtalkSched::new(omega).schedule_with_report(&bench.circuit, &ctx).unwrap();
+        let (_, fixed) = XtalkSched::new(omega)
+            .with_ordering(OrderingPolicy::ProgramOrder)
+            .schedule_with_report(&bench.circuit, &ctx)
+            .unwrap();
+        assert!(
+            optimal.cost <= fixed.cost + 1e-9,
+            "optimal {} vs program-order {}",
+            optimal.cost,
+            fixed.cost
+        );
+        // On this specific path the ordering genuinely matters.
+        assert!(
+            optimal.cost < fixed.cost - 1e-6,
+            "ordering should strictly help here: {} vs {}",
+            optimal.cost,
+            fixed.cost
+        );
+        // And it explores no more than twice the leaves.
+        assert!(fixed.leaves <= optimal.leaves);
+    }
+
+    #[test]
+    fn anytime_budget_respected() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let (_, report) =
+            XtalkSched::new(0.5).with_max_leaves(3).schedule_with_report(&c, &ctx).unwrap();
+        assert!(report.leaves <= 3);
+    }
+}

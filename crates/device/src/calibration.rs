@@ -1,0 +1,409 @@
+//! Daily calibration data: gate errors, durations, coherence, readout.
+
+use crate::{Edge, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use xtalk_ir::{Gate, Qubit};
+
+/// Pulse-length model for gate durations, in nanoseconds.
+///
+/// Virtual gates (`rz`, `u1`, `z`, `s`, `t`, barriers) take zero time;
+/// one-pulse gates (`x`, `h`, `u2`, …) take [`GateDurations::sq_pulse_ns`];
+/// `u3` takes two pulses; CNOT durations are per-edge (see
+/// [`Calibration::cx_duration`]); a `swap` is three CNOTs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GateDurations {
+    /// Duration of one single-qubit physical pulse (ns).
+    pub sq_pulse_ns: u64,
+    /// Duration of a readout operation (ns).
+    pub measure_ns: u64,
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        GateDurations { sq_pulse_ns: 50, measure_ns: 1000 }
+    }
+}
+
+/// Statistical profile used to sample synthetic calibrations. Defaults
+/// follow the populations the paper reports for the three IBMQ systems
+/// (Section 2.2): CNOT error 0.5–6.5 % averaging ≈1.8 %, single-qubit
+/// error ≈10× better, readout ≈4.8 %, coherence 10–100 µs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CalibrationProfile {
+    /// Lower/upper bound on CNOT error rate.
+    pub cx_error_range: (f64, f64),
+    /// Median CNOT error (log-normal location).
+    pub cx_error_median: f64,
+    /// Ratio of single-qubit to CNOT error (paper: ≈0.1).
+    pub sq_error_ratio: f64,
+    /// Mean readout assignment error.
+    pub readout_mean: f64,
+    /// Spread of readout error.
+    pub readout_sd: f64,
+    /// Range of T1 (µs).
+    pub t1_range_us: (f64, f64),
+    /// Range of T2 (µs); additionally clamped to `2·T1`.
+    pub t2_range_us: (f64, f64),
+    /// Range of CNOT durations (ns).
+    pub cx_duration_range_ns: (u64, u64),
+}
+
+impl Default for CalibrationProfile {
+    fn default() -> Self {
+        CalibrationProfile {
+            cx_error_range: (0.005, 0.065),
+            cx_error_median: 0.015,
+            sq_error_ratio: 0.1,
+            readout_mean: 0.048,
+            readout_sd: 0.012,
+            t1_range_us: (30.0, 100.0),
+            t2_range_us: (15.0, 120.0),
+            cx_duration_range_ns: (250, 450),
+        }
+    }
+}
+
+/// One day's calibration of a device: exactly the data IBM publishes
+/// through its device API (independent gate errors, gate durations, T1/T2
+/// and readout errors) — *without* any crosstalk information.
+///
+/// ```
+/// use xtalk_device::{Calibration, CalibrationProfile, Edge, Topology};
+/// let topo = Topology::line(4);
+/// let cal = Calibration::sample(&topo, &CalibrationProfile::default(), 42);
+/// let e = Edge::new(1, 2);
+/// assert!(cal.cx_error(e) > 0.0 && cal.cx_error(e) < 0.1);
+/// assert!(cal.coherence_ns(1) > 0.0);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Calibration {
+    durations: GateDurations,
+    cx_error: BTreeMap<Edge, f64>,
+    cx_duration: BTreeMap<Edge, u64>,
+    sq_error: Vec<f64>,
+    readout_error: Vec<f64>,
+    t1_us: Vec<f64>,
+    t2_us: Vec<f64>,
+}
+
+impl Calibration {
+    /// Builds a calibration from explicit per-gate data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-qubit vectors disagree in length.
+    pub fn from_parts(
+        durations: GateDurations,
+        cx_error: BTreeMap<Edge, f64>,
+        cx_duration: BTreeMap<Edge, u64>,
+        sq_error: Vec<f64>,
+        readout_error: Vec<f64>,
+        t1_us: Vec<f64>,
+        t2_us: Vec<f64>,
+    ) -> Self {
+        let n = sq_error.len();
+        assert!(
+            readout_error.len() == n && t1_us.len() == n && t2_us.len() == n,
+            "per-qubit calibration vectors must agree in length"
+        );
+        Calibration { durations, cx_error, cx_duration, sq_error, readout_error, t1_us, t2_us }
+    }
+
+    /// Samples a synthetic calibration for `topology` from `profile`,
+    /// deterministically in `seed`.
+    pub fn sample(topology: &Topology, profile: &CalibrationProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = topology.num_qubits();
+
+        let mut cx_error = BTreeMap::new();
+        let mut cx_duration = BTreeMap::new();
+        for &e in topology.edges() {
+            let err = sample_lognormal(
+                &mut rng,
+                profile.cx_error_median,
+                0.5,
+                profile.cx_error_range,
+            );
+            cx_error.insert(e, err);
+            cx_duration.insert(
+                e,
+                rng.gen_range(profile.cx_duration_range_ns.0..=profile.cx_duration_range_ns.1),
+            );
+        }
+
+        let sq_error = cx_error_based_sq(&cx_error, profile, n, &mut rng);
+        let readout_error = (0..n)
+            .map(|_| {
+                (profile.readout_mean + profile.readout_sd * standard_normal(&mut rng))
+                    .clamp(0.005, 0.25)
+            })
+            .collect();
+        let t1_us: Vec<f64> =
+            (0..n).map(|_| rng.gen_range(profile.t1_range_us.0..profile.t1_range_us.1)).collect();
+        let t2_us = t1_us
+            .iter()
+            .map(|&t1| {
+                rng.gen_range(profile.t2_range_us.0..profile.t2_range_us.1).min(2.0 * t1)
+            })
+            .collect();
+
+        Calibration {
+            durations: GateDurations::default(),
+            cx_error,
+            cx_duration,
+            sq_error,
+            readout_error,
+            t1_us,
+            t2_us,
+        }
+    }
+
+    /// Number of qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.sq_error.len()
+    }
+
+    /// `true` if `e` is a calibrated CNOT site (i.e. a coupling-map edge).
+    pub fn has_cx_edge(&self, e: Edge) -> bool {
+        self.cx_error.contains_key(&e)
+    }
+
+    /// Independent CNOT error rate `E(g)` for edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a calibrated edge.
+    pub fn cx_error(&self, e: Edge) -> f64 {
+        *self.cx_error.get(&e).unwrap_or_else(|| panic!("no calibration for edge {e}"))
+    }
+
+    /// CNOT duration (ns) for edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a calibrated edge.
+    pub fn cx_duration(&self, e: Edge) -> u64 {
+        *self.cx_duration.get(&e).unwrap_or_else(|| panic!("no calibration for edge {e}"))
+    }
+
+    /// Single-qubit gate error for qubit `q`.
+    pub fn sq_error(&self, q: u32) -> f64 {
+        self.sq_error[q as usize]
+    }
+
+    /// Readout assignment error for qubit `q` (probability of flipping the
+    /// measured bit).
+    pub fn readout_error(&self, q: u32) -> f64 {
+        self.readout_error[q as usize]
+    }
+
+    /// T1 relaxation time (µs).
+    pub fn t1_us(&self, q: u32) -> f64 {
+        self.t1_us[q as usize]
+    }
+
+    /// T2 dephasing time (µs).
+    pub fn t2_us(&self, q: u32) -> f64 {
+        self.t2_us[q as usize]
+    }
+
+    /// The paper's available compute time `q.T` (Eq. 9): `min(T1, T2)`,
+    /// in nanoseconds.
+    pub fn coherence_ns(&self, q: u32) -> f64 {
+        self.t1_us[q as usize].min(self.t2_us[q as usize]) * 1000.0
+    }
+
+    /// The duration model.
+    pub fn durations(&self) -> GateDurations {
+        self.durations
+    }
+
+    /// Duration (ns) of `gate` applied to `qubits` under this calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a two-qubit gate is applied to a non-calibrated edge.
+    pub fn duration_of(&self, gate: &Gate, qubits: &[Qubit]) -> u64 {
+        if gate.is_virtual() {
+            return 0;
+        }
+        match gate {
+            Gate::Cx | Gate::Cz => self.cx_duration(Edge::new(qubits[0].raw(), qubits[1].raw())),
+            Gate::Swap => 3 * self.cx_duration(Edge::new(qubits[0].raw(), qubits[1].raw())),
+            Gate::Measure => self.durations.measure_ns,
+            Gate::U3(..) => 2 * self.durations.sq_pulse_ns,
+            // Everything else is a one-pulse single-qubit gate.
+            _ => self.durations.sq_pulse_ns,
+        }
+    }
+
+    /// Overrides the coherence of one qubit (used by device presets to
+    /// plant outliers such as Poughkeepsie's low-coherence qubit 10).
+    pub fn set_coherence_us(&mut self, q: u32, t1_us: f64, t2_us: f64) {
+        self.t1_us[q as usize] = t1_us;
+        self.t2_us[q as usize] = t2_us;
+    }
+
+    /// Overrides one CNOT's independent error rate.
+    pub fn set_cx_error(&mut self, e: Edge, err: f64) {
+        assert!(self.cx_error.contains_key(&e), "no calibration for edge {e}");
+        self.cx_error.insert(e, err);
+    }
+
+    /// A next-day calibration: every error rate and coherence time jitters
+    /// multiplicatively (log-normal), modeling the daily drift the paper
+    /// observes (gate errors vary day to day; Section 5.1).
+    pub fn drifted(&self, seed: u64) -> Calibration {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut out = self.clone();
+        for v in out.cx_error.values_mut() {
+            *v = (*v * lognormal_factor(&mut rng, 0.18)).clamp(1e-4, 0.25);
+        }
+        for v in &mut out.sq_error {
+            *v = (*v * lognormal_factor(&mut rng, 0.18)).clamp(1e-5, 0.05);
+        }
+        for v in &mut out.readout_error {
+            *v = (*v * lognormal_factor(&mut rng, 0.1)).clamp(0.002, 0.3);
+        }
+        for v in &mut out.t1_us {
+            *v = (*v * lognormal_factor(&mut rng, 0.08)).clamp(1.0, 300.0);
+        }
+        for v in &mut out.t2_us {
+            *v = (*v * lognormal_factor(&mut rng, 0.08)).clamp(1.0, 300.0);
+        }
+        out
+    }
+}
+
+fn cx_error_based_sq(
+    cx_error: &BTreeMap<Edge, f64>,
+    profile: &CalibrationProfile,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let avg_cx = if cx_error.is_empty() {
+        profile.cx_error_median
+    } else {
+        cx_error.values().sum::<f64>() / cx_error.len() as f64
+    };
+    (0..n)
+        .map(|_| (avg_cx * profile.sq_error_ratio * lognormal_factor(rng, 0.3)).max(1e-5))
+        .collect()
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box-Muller; `rand` 0.8 without `rand_distr` has no normal sampler.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn lognormal_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    (sigma * standard_normal(rng)).exp()
+}
+
+fn sample_lognormal(rng: &mut StdRng, median: f64, sigma: f64, range: (f64, f64)) -> f64 {
+    (median * lognormal_factor(rng, sigma)).clamp(range.0, range.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> (Topology, Calibration) {
+        let t = Topology::poughkeepsie();
+        let c = Calibration::sample(&t, &CalibrationProfile::default(), 1);
+        (t, c)
+    }
+
+    #[test]
+    fn sampled_values_in_range() {
+        let (t, c) = cal();
+        for &e in t.edges() {
+            let err = c.cx_error(e);
+            assert!((0.005..=0.065).contains(&err), "cx error {err}");
+            assert!((250..=450).contains(&c.cx_duration(e)));
+        }
+        for q in 0..20 {
+            assert!(c.sq_error(q) < 0.02);
+            assert!((0.005..=0.25).contains(&c.readout_error(q)));
+            assert!(c.t1_us(q) >= 30.0 && c.t1_us(q) <= 100.0);
+            assert!(c.t2_us(q) <= 2.0 * c.t1_us(q) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = Topology::line(5);
+        let a = Calibration::sample(&t, &CalibrationProfile::default(), 9);
+        let b = Calibration::sample(&t, &CalibrationProfile::default(), 9);
+        assert_eq!(a, b);
+        let c = Calibration::sample(&t, &CalibrationProfile::default(), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn durations_follow_gate_kinds() {
+        let (_, c) = cal();
+        let q = [Qubit::new(0), Qubit::new(1)];
+        assert_eq!(c.duration_of(&Gate::Rz(1.0), &q[..1]), 0);
+        assert_eq!(c.duration_of(&Gate::Barrier, &q), 0);
+        assert_eq!(c.duration_of(&Gate::H, &q[..1]), 50);
+        assert_eq!(c.duration_of(&Gate::U3(1.0, 2.0, 3.0), &q[..1]), 100);
+        assert_eq!(c.duration_of(&Gate::Measure, &q[..1]), 1000);
+        let cx = c.duration_of(&Gate::Cx, &q);
+        assert_eq!(c.duration_of(&Gate::Swap, &q), 3 * cx);
+    }
+
+    #[test]
+    fn coherence_is_min_t1_t2_in_ns() {
+        let (_, mut c) = cal();
+        c.set_coherence_us(3, 50.0, 20.0);
+        assert!((c.coherence_ns(3) - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_changes_but_stays_in_bounds() {
+        let (t, c) = cal();
+        let d = c.drifted(1);
+        assert_ne!(c, d);
+        for &e in t.edges() {
+            assert!(d.cx_error(e) > 0.0 && d.cx_error(e) <= 0.25);
+            // Drift should be gentle: within ~2x.
+            let ratio = d.cx_error(e) / c.cx_error(e);
+            assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration for edge")]
+    fn unknown_edge_panics() {
+        let (_, c) = cal();
+        c.cx_error(Edge::new(0, 19));
+    }
+
+    #[test]
+    fn set_cx_error_overrides() {
+        let (_, mut c) = cal();
+        c.set_cx_error(Edge::new(10, 15), 0.01);
+        assert_eq!(c.cx_error(Edge::new(10, 15)), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree in length")]
+    fn from_parts_checks_lengths() {
+        Calibration::from_parts(
+            GateDurations::default(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            vec![0.001],
+            vec![0.05, 0.05],
+            vec![50.0],
+            vec![50.0],
+        );
+    }
+}

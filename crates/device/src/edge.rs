@@ -1,0 +1,118 @@
+//! Normalized coupling-map edges.
+
+use std::fmt;
+use xtalk_ir::Qubit;
+
+/// An undirected edge of the coupling map — the site of one hardware CNOT.
+///
+/// Endpoints are stored normalized (`lo < hi`), so an `Edge` is directly
+/// usable as a map key regardless of gate direction.
+///
+/// ```
+/// use xtalk_device::Edge;
+/// assert_eq!(Edge::new(5, 0), Edge::new(0, 5));
+/// assert_eq!(Edge::new(0, 5).to_string(), "CX0,5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    lo: u32,
+    hi: u32,
+}
+
+impl Edge {
+    /// Creates a normalized edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` — an edge connects two distinct qubits.
+    pub fn new(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "edge endpoints must differ");
+        if a < b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// Smaller endpoint.
+    pub const fn lo(self) -> u32 {
+        self.lo
+    }
+
+    /// Larger endpoint.
+    pub const fn hi(self) -> u32 {
+        self.hi
+    }
+
+    /// Both endpoints as qubits.
+    pub fn qubits(self) -> [Qubit; 2] {
+        [Qubit::new(self.lo), Qubit::new(self.hi)]
+    }
+
+    /// `true` if `q` is one of the endpoints.
+    pub fn contains(self, q: u32) -> bool {
+        self.lo == q || self.hi == q
+    }
+
+    /// `true` if the two edges share an endpoint (such CNOTs cannot be
+    /// driven simultaneously).
+    pub fn shares_qubit(self, other: Edge) -> bool {
+        self.contains(other.lo) || self.contains(other.hi)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CX{},{}", self.lo, self.hi)
+    }
+}
+
+impl From<(Qubit, Qubit)> for Edge {
+    fn from((a, b): (Qubit, Qubit)) -> Self {
+        Edge::new(a.raw(), b.raw())
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((a, b): (u32, u32)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let e = Edge::new(9, 4);
+        assert_eq!(e.lo(), 4);
+        assert_eq!(e.hi(), 9);
+        assert_eq!(e, Edge::new(4, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_loop_rejected() {
+        Edge::new(3, 3);
+    }
+
+    #[test]
+    fn sharing() {
+        assert!(Edge::new(0, 1).shares_qubit(Edge::new(1, 2)));
+        assert!(!Edge::new(0, 1).shares_qubit(Edge::new(2, 3)));
+    }
+
+    #[test]
+    fn conversion_from_qubits() {
+        let e: Edge = (Qubit::new(7), Qubit::new(2)).into();
+        assert_eq!(e, Edge::new(2, 7));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Edge::new(0, 1) < Edge::new(0, 2));
+        assert!(Edge::new(0, 9) < Edge::new(1, 2));
+    }
+}

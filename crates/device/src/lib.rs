@@ -1,0 +1,36 @@
+//! NISQ hardware models.
+//!
+//! This crate is the *device substrate* of the reproduction: it stands in
+//! for the three 20-qubit IBMQ machines the paper measures (Poughkeepsie,
+//! Johannesburg, Boeblingen). A [`Device`] bundles
+//!
+//! * a [`Topology`] — the CNOT coupling graph with hop-distance queries,
+//! * a [`Calibration`] — per-gate error rates and durations, per-qubit
+//!   T1/T2 and readout error (the data IBM publishes daily), and
+//! * a [`CrosstalkMap`] — the *ground-truth* conditional-error factors that
+//!   the real hardware hides and the characterization module must discover
+//!   through simultaneous randomized benchmarking.
+//!
+//! Only the simulator may look at the [`CrosstalkMap`]; the scheduler is
+//! given estimates produced by `xtalk-charac`, mirroring the paper's
+//! toolflow (its Figure 2).
+//!
+//! ```
+//! use xtalk_device::Device;
+//! let dev = Device::poughkeepsie(7);
+//! assert_eq!(dev.topology().num_qubits(), 20);
+//! assert_eq!(dev.topology().num_edges(), 22);
+//! assert!(!dev.crosstalk().high_pairs(3.0).is_empty());
+//! ```
+
+mod calibration;
+mod crosstalk;
+mod device;
+mod edge;
+mod topology;
+
+pub use calibration::{Calibration, CalibrationProfile, GateDurations};
+pub use crosstalk::CrosstalkMap;
+pub use device::Device;
+pub use edge::Edge;
+pub use topology::Topology;

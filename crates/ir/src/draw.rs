@@ -1,0 +1,182 @@
+//! ASCII circuit diagrams (used by the CLI and examples).
+
+use crate::{Circuit, Gate};
+
+/// Renders a circuit as an ASCII diagram, one row per qubit, instructions
+/// packed into dependency layers:
+///
+/// ```
+/// use xtalk_ir::{draw, Circuit};
+/// let mut c = Circuit::new(3, 3);
+/// c.h(0).cx(0, 1).cx(1, 2).measure_all();
+/// let art = draw::text_diagram(&c);
+/// assert!(art.contains("q0: ─[h]─●"));
+/// ```
+///
+/// Controls are `●`, CNOT targets `⊕`, other two-qubit endpoints `◼`,
+/// measurements `[M→ck]`, barriers `░`. Idle wires are `─`.
+#[allow(clippy::needless_range_loop)]
+pub fn text_diagram(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    // Assign layers greedily, barriers occupying their own column.
+    let mut level = vec![0usize; n];
+    let mut columns: Vec<Vec<usize>> = Vec::new(); // column -> instr indices
+    for (i, ins) in circuit.iter().enumerate() {
+        let qubits = ins.qubits();
+        // Two-qubit gates occupy the whole span between their endpoints so
+        // crossing wires stay readable.
+        let (lo, hi) = span(ins.qubits().iter().map(|q| q.index()));
+        let col = (lo..=hi).map(|q| level[q]).max().unwrap_or(0);
+        if columns.len() <= col {
+            columns.resize_with(col + 1, Vec::new);
+        }
+        columns[col].push(i);
+        for q in lo..=hi {
+            level[q] = col + 1;
+        }
+        let _ = qubits;
+    }
+
+    // Render column by column.
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n];
+    for col in &columns {
+        let mut col_cells: Vec<Option<String>> = vec![None; n];
+        let mut width = 1;
+        for &i in col {
+            let ins = &circuit.instructions()[i];
+            let (lo, hi) = span(ins.qubits().iter().map(|q| q.index()));
+            match ins.gate() {
+                Gate::Barrier => {
+                    for q in lo..=hi {
+                        col_cells[q] = Some("░".to_string());
+                    }
+                }
+                Gate::Measure => {
+                    let c = ins.clbit().expect("measure has clbit").index();
+                    col_cells[ins.qubits()[0].index()] = Some(format!("[M→c{c}]"));
+                }
+                g if g.is_two_qubit() => {
+                    let (a, b) = (ins.qubits()[0].index(), ins.qubits()[1].index());
+                    let (ca, cb) = match g {
+                        Gate::Cx => ("●", "⊕"),
+                        Gate::Cz => ("●", "●"),
+                        _ => ("◼", "◼"),
+                    };
+                    col_cells[a] = Some(ca.to_string());
+                    col_cells[b] = Some(cb.to_string());
+                    for q in lo + 1..hi {
+                        if col_cells[q].is_none() {
+                            col_cells[q] = Some("│".to_string());
+                        }
+                    }
+                }
+                g => {
+                    col_cells[ins.qubits()[0].index()] = Some(format!("[{}]", g.name()));
+                }
+            }
+        }
+        for cell in col_cells.iter().flatten() {
+            width = width.max(cell.chars().count());
+        }
+        for (q, cell) in col_cells.into_iter().enumerate() {
+            let text = cell.unwrap_or_else(|| "─".to_string());
+            let pad = width - text.chars().count();
+            let fill = if text == "│" || text == "░" { ' ' } else { '─' };
+            let mut s = String::new();
+            for _ in 0..pad / 2 {
+                s.push(fill);
+            }
+            s.push_str(&text);
+            for _ in 0..(pad - pad / 2) {
+                s.push(fill);
+            }
+            cells[q].push(s);
+        }
+    }
+
+    let label_w = format!("q{}", n.saturating_sub(1)).len();
+    let mut out = String::new();
+    for (q, row) in cells.iter().enumerate() {
+        let label = format!("q{q}");
+        out.push_str(&format!("{label:<label_w$}: ─"));
+        for cell in row {
+            out.push_str(cell);
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn span(qubits: impl Iterator<Item = usize>) -> (usize, usize) {
+    let mut lo = usize::MAX;
+    let mut hi = 0;
+    for q in qubits {
+        lo = lo.min(q);
+        hi = hi.max(q);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_diagram() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let art = text_diagram(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("[h]"));
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('⊕'));
+        assert!(lines[0].contains("[M→c0]"));
+        assert!(lines[1].contains("[M→c1]"));
+    }
+
+    #[test]
+    fn long_range_gate_draws_bridge() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 2);
+        let art = text_diagram(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('│'));
+        assert!(lines[2].contains('⊕'));
+    }
+
+    #[test]
+    fn barrier_spans_qubits() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).barrier_all().h(2);
+        let art = text_diagram(&c);
+        assert_eq!(art.matches('░').count(), 3);
+    }
+
+    #[test]
+    fn columns_respect_dependencies() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(0);
+        let art = text_diagram(&c);
+        // Two sequential gates: the q0 row has two [h] cells.
+        assert_eq!(art.lines().next().unwrap().matches("[h]").count(), 2);
+    }
+
+    #[test]
+    fn every_row_same_display_width() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 2).u3(0.1, 0.2, 0.3, 1).measure_all();
+        let art = text_diagram(&c);
+        let widths: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{art}");
+    }
+
+    #[test]
+    fn empty_circuit_renders_labels() {
+        let c = Circuit::new(2, 0);
+        let art = text_diagram(&c);
+        assert!(art.starts_with("q0: ─"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for circuit construction and scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating IR objects.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An instruction referenced a qubit outside the circuit register.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Register width.
+        width: usize,
+    },
+    /// An instruction referenced a classical bit outside the register.
+    ClbitOutOfRange {
+        /// Offending clbit index.
+        clbit: usize,
+        /// Register width.
+        width: usize,
+    },
+    /// [`crate::Circuit::inverse`] was called on a circuit containing a
+    /// non-invertible operation.
+    NotInvertible {
+        /// Mnemonic of the offending gate.
+        gate: &'static str,
+    },
+    /// A schedule assigns overlapping time slots to two instructions that
+    /// share a qubit.
+    ScheduleQubitOverlap {
+        /// First instruction index.
+        first: usize,
+        /// Second instruction index.
+        second: usize,
+        /// The shared qubit.
+        qubit: usize,
+    },
+    /// A schedule violates a data dependency: the dependent instruction
+    /// starts before its predecessor finishes.
+    ScheduleDependencyViolation {
+        /// Predecessor instruction index.
+        before: usize,
+        /// Dependent instruction index.
+        after: usize,
+    },
+    /// A schedule's slot list does not match the circuit's instruction list.
+    ScheduleLengthMismatch {
+        /// Number of schedule slots.
+        slots: usize,
+        /// Number of instructions.
+        instructions: usize,
+    },
+    /// Failure parsing an OpenQASM source.
+    QasmParse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit index {qubit} out of range for register of width {width}")
+            }
+            IrError::ClbitOutOfRange { clbit, width } => {
+                write!(f, "clbit index {clbit} out of range for register of width {width}")
+            }
+            IrError::NotInvertible { gate } => {
+                write!(f, "circuit containing `{gate}` is not invertible")
+            }
+            IrError::ScheduleQubitOverlap { first, second, qubit } => write!(
+                f,
+                "instructions {first} and {second} overlap in time on qubit {qubit}"
+            ),
+            IrError::ScheduleDependencyViolation { before, after } => write!(
+                f,
+                "instruction {after} depends on {before} but starts before it finishes"
+            ),
+            IrError::ScheduleLengthMismatch { slots, instructions } => write!(
+                f,
+                "schedule has {slots} slots but circuit has {instructions} instructions"
+            ),
+            IrError::QasmParse { line, message } => {
+                write!(f, "qasm parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<IrError> = vec![
+            IrError::QubitOutOfRange { qubit: 5, width: 2 },
+            IrError::ClbitOutOfRange { clbit: 1, width: 0 },
+            IrError::NotInvertible { gate: "measure" },
+            IrError::ScheduleQubitOverlap { first: 0, second: 1, qubit: 2 },
+            IrError::ScheduleDependencyViolation { before: 0, after: 1 },
+            IrError::ScheduleLengthMismatch { slots: 3, instructions: 4 },
+            IrError::QasmParse { line: 7, message: "unknown gate".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<IrError>();
+    }
+}

@@ -1,0 +1,274 @@
+//! The gate set.
+
+use std::fmt;
+
+/// A quantum operation kind.
+///
+/// The set mirrors the IBMQ OpenQASM 2.0 basis used by the paper's toolflow
+/// (`u1`/`u2`/`u3` single-qubit gates, `cx`, `measure`, `barrier`) plus the
+/// named Clifford/Pauli gates that the characterization layer synthesizes
+/// into that basis.
+///
+/// Angles are in radians.
+///
+/// ```
+/// use xtalk_ir::Gate;
+/// assert_eq!(Gate::Cx.num_qubits(), 2);
+/// assert!(Gate::Cx.is_two_qubit());
+/// assert_eq!(Gate::H.inverse(), Some(Gate::H));
+/// assert_eq!(Gate::S.inverse(), Some(Gate::Sdg));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Gate {
+    /// Identity (explicit idle).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})`.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// `u1(λ) = diag(1, e^{iλ})` — virtual-Z style phase.
+    U1(f64),
+    /// `u2(φ, λ)` — one physical X90 pulse.
+    U2(f64, f64),
+    /// `u3(θ, φ, λ)` — generic single-qubit rotation (two X90 pulses).
+    U3(f64, f64, f64),
+    /// Rotation about X.
+    Rx(f64),
+    /// Rotation about Y.
+    Ry(f64),
+    /// Rotation about Z.
+    Rz(f64),
+    /// Controlled-NOT. Qubit order is `[control, target]`.
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP (decomposes to three CNOTs on hardware).
+    Swap,
+    /// Readout of one qubit into one classical bit.
+    Measure,
+    /// Scheduling barrier across a set of qubits; occupies zero time but
+    /// orders the instructions on those qubits.
+    Barrier,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on; `None` for [`Gate::Barrier`],
+    /// which takes any number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::Barrier => 0,
+            Gate::Cx | Gate::Cz | Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// `true` for two-qubit entangling gates (`cx`, `cz`, `swap`).
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cx | Gate::Cz | Gate::Swap)
+    }
+
+    /// `true` for [`Gate::Measure`].
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Gate::Measure)
+    }
+
+    /// `true` for [`Gate::Barrier`].
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, Gate::Barrier)
+    }
+
+    /// `true` for single-qubit unitary gates (excludes measure/barrier).
+    pub fn is_single_qubit(&self) -> bool {
+        !self.is_two_qubit() && !self.is_measurement() && !self.is_barrier()
+    }
+
+    /// `true` if the gate is a unitary operation (not measure/barrier).
+    pub fn is_unitary(&self) -> bool {
+        !self.is_measurement() && !self.is_barrier()
+    }
+
+    /// The inverse gate, if it is expressible in this gate set.
+    ///
+    /// Returns `None` for non-unitary operations (measure, barrier).
+    pub fn inverse(&self) -> Option<Gate> {
+        Some(match self {
+            Gate::I => Gate::I,
+            Gate::X => Gate::X,
+            Gate::Y => Gate::Y,
+            Gate::Z => Gate::Z,
+            Gate::H => Gate::H,
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::U1(l) => Gate::U1(-l),
+            Gate::U2(phi, lam) => {
+                // u2(φ,λ)⁻¹ = u3(-π/2, -λ, -φ) = u2(-λ-π, -φ+π) up to phase;
+                // express exactly as u3 for clarity.
+                Gate::U3(-std::f64::consts::FRAC_PI_2, -lam, -phi)
+            }
+            Gate::U3(t, phi, lam) => Gate::U3(-t, -lam, -phi),
+            Gate::Rx(a) => Gate::Rx(-a),
+            Gate::Ry(a) => Gate::Ry(-a),
+            Gate::Rz(a) => Gate::Rz(-a),
+            Gate::Cx => Gate::Cx,
+            Gate::Cz => Gate::Cz,
+            Gate::Swap => Gate::Swap,
+            Gate::Measure | Gate::Barrier => return None,
+        })
+    }
+
+    /// Lower-case mnemonic used in OpenQASM output and `Display`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::U1(_) => "u1",
+            Gate::U2(_, _) => "u2",
+            Gate::U3(_, _, _) => "u3",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Measure => "measure",
+            Gate::Barrier => "barrier",
+        }
+    }
+
+    /// Gate parameters (rotation angles), empty for non-parameterized gates.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Gate::U1(l) => vec![l],
+            Gate::U2(p, l) => vec![p, l],
+            Gate::U3(t, p, l) => vec![t, p, l],
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) => vec![a],
+            _ => Vec::new(),
+        }
+    }
+
+    /// `true` if the gate is "virtual" on IBMQ hardware: implemented as a
+    /// frame change with zero duration and essentially zero error
+    /// (`u1`/`rz`/`z`/`s`/`t` and their inverses, plus identity and barrier).
+    pub fn is_virtual(&self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::U1(_)
+                | Gate::Rz(_)
+                | Gate::Barrier
+        )
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.params();
+        if ps.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let joined = ps
+                .iter()
+                .map(|p| format!("{p:.6}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            write!(f, "{}({})", self.name(), joined)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::Cx.num_qubits(), 2);
+        assert_eq!(Gate::Swap.num_qubits(), 2);
+        assert_eq!(Gate::Measure.num_qubits(), 1);
+        assert_eq!(Gate::Barrier.num_qubits(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Gate::Cx.is_two_qubit());
+        assert!(!Gate::H.is_two_qubit());
+        assert!(Gate::Measure.is_measurement());
+        assert!(Gate::Barrier.is_barrier());
+        assert!(Gate::U3(1.0, 2.0, 3.0).is_single_qubit());
+        assert!(!Gate::Measure.is_single_qubit());
+        assert!(Gate::Cx.is_unitary());
+        assert!(!Gate::Measure.is_unitary());
+    }
+
+    #[test]
+    fn self_inverse_gates() {
+        for g in [Gate::I, Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::Cx, Gate::Cz, Gate::Swap] {
+            assert_eq!(g.inverse(), Some(g), "{g} should be self-inverse");
+        }
+    }
+
+    #[test]
+    fn phase_inverses() {
+        assert_eq!(Gate::S.inverse(), Some(Gate::Sdg));
+        assert_eq!(Gate::Tdg.inverse(), Some(Gate::T));
+        assert_eq!(Gate::U1(0.5).inverse(), Some(Gate::U1(-0.5)));
+        assert_eq!(Gate::Rx(PI).inverse(), Some(Gate::Rx(-PI)));
+    }
+
+    #[test]
+    fn non_unitary_has_no_inverse() {
+        assert_eq!(Gate::Measure.inverse(), None);
+        assert_eq!(Gate::Barrier.inverse(), None);
+    }
+
+    #[test]
+    fn params_extraction() {
+        assert_eq!(Gate::U3(1.0, 2.0, 3.0).params(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(Gate::U2(0.5, 0.25).params(), vec![0.5, 0.25]);
+        assert!(Gate::Cx.params().is_empty());
+    }
+
+    #[test]
+    fn display_with_params() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::Rz(0.5).to_string(), "rz(0.500000)");
+    }
+
+    #[test]
+    fn virtual_gates() {
+        assert!(Gate::Rz(1.0).is_virtual());
+        assert!(Gate::U1(1.0).is_virtual());
+        assert!(Gate::Z.is_virtual());
+        assert!(!Gate::X.is_virtual());
+        assert!(!Gate::U2(0.0, PI).is_virtual());
+        assert!(!Gate::Cx.is_virtual());
+    }
+}

@@ -1,0 +1,203 @@
+//! A gate bound to concrete qubits.
+
+use crate::{Clbit, Gate, Qubit};
+use std::fmt;
+
+/// One instruction of a [`crate::Circuit`]: a [`Gate`] applied to specific
+/// qubits (and, for measurements, a classical target bit).
+///
+/// ```
+/// use xtalk_ir::{Gate, Instruction, Qubit};
+/// let cx = Instruction::two_qubit(Gate::Cx, Qubit::new(0), Qubit::new(1));
+/// assert_eq!(cx.to_string(), "cx q0, q1");
+/// assert!(cx.acts_on(Qubit::new(1)));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Instruction {
+    gate: Gate,
+    qubits: Vec<Qubit>,
+    clbit: Option<Clbit>,
+}
+
+impl Instruction {
+    /// Creates an instruction, checking gate arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate's arity (any
+    /// nonzero number is allowed for barriers), if qubits repeat, or if a
+    /// `clbit` is supplied for anything but a measurement.
+    pub fn new(gate: Gate, qubits: Vec<Qubit>, clbit: Option<Clbit>) -> Self {
+        if gate.is_barrier() {
+            assert!(!qubits.is_empty(), "barrier must span at least one qubit");
+        } else {
+            assert_eq!(
+                qubits.len(),
+                gate.num_qubits(),
+                "gate {gate} expects {} qubit(s), got {}",
+                gate.num_qubits(),
+                qubits.len()
+            );
+        }
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                assert_ne!(a, b, "instruction {gate} repeats qubit {a}");
+            }
+        }
+        assert!(
+            clbit.is_none() || gate.is_measurement(),
+            "only measurements take a classical bit"
+        );
+        Instruction { gate, qubits, clbit }
+    }
+
+    /// Convenience constructor for a single-qubit gate.
+    pub fn single_qubit(gate: Gate, q: Qubit) -> Self {
+        Instruction::new(gate, vec![q], None)
+    }
+
+    /// Convenience constructor for a two-qubit gate.
+    pub fn two_qubit(gate: Gate, a: Qubit, b: Qubit) -> Self {
+        Instruction::new(gate, vec![a, b], None)
+    }
+
+    /// Convenience constructor for a measurement.
+    pub fn measure(q: Qubit, c: Clbit) -> Self {
+        Instruction::new(Gate::Measure, vec![q], Some(c))
+    }
+
+    /// Convenience constructor for a barrier across `qubits`.
+    pub fn barrier<I: IntoIterator<Item = Qubit>>(qubits: I) -> Self {
+        Instruction::new(Gate::Barrier, qubits.into_iter().collect(), None)
+    }
+
+    /// The gate kind.
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The qubits the instruction acts on, in gate order
+    /// (`[control, target]` for CX).
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.qubits
+    }
+
+    /// Classical destination bit (measurements only).
+    pub fn clbit(&self) -> Option<Clbit> {
+        self.clbit
+    }
+
+    /// `true` if this instruction touches `q`.
+    pub fn acts_on(&self, q: Qubit) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// `true` if this instruction shares at least one qubit with `other`.
+    pub fn shares_qubit(&self, other: &Instruction) -> bool {
+        self.qubits.iter().any(|q| other.acts_on(*q))
+    }
+
+    /// For a two-qubit gate, the `(low, high)` qubit pair (order-normalized,
+    /// useful as a coupling-map key). `None` otherwise.
+    pub fn edge(&self) -> Option<(Qubit, Qubit)> {
+        if self.gate.is_two_qubit() {
+            let (a, b) = (self.qubits[0], self.qubits[1]);
+            Some(if a < b { (a, b) } else { (b, a) })
+        } else {
+            None
+        }
+    }
+
+    /// The inverse instruction, if the gate is invertible.
+    pub fn inverse(&self) -> Option<Instruction> {
+        self.gate.inverse().map(|g| Instruction {
+            gate: g,
+            qubits: self.qubits.clone(),
+            clbit: None,
+        })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.gate)?;
+        let qs = self
+            .qubits
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(f, " {qs}")?;
+        if let Some(c) = self.clbit {
+            write!(f, " -> {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let h = Instruction::single_qubit(Gate::H, Qubit::new(2));
+        assert_eq!(h.qubits(), &[Qubit::new(2)]);
+        let m = Instruction::measure(Qubit::new(1), Clbit::new(0));
+        assert_eq!(m.clbit(), Some(Clbit::new(0)));
+        let b = Instruction::barrier([Qubit::new(0), Qubit::new(3)]);
+        assert_eq!(b.qubits().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubit")]
+    fn arity_checked() {
+        Instruction::new(Gate::Cx, vec![Qubit::new(0)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats qubit")]
+    fn repeated_qubits_rejected() {
+        Instruction::two_qubit(Gate::Cx, Qubit::new(1), Qubit::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "classical bit")]
+    fn clbit_only_for_measure() {
+        Instruction::new(Gate::H, vec![Qubit::new(0)], Some(Clbit::new(0)));
+    }
+
+    #[test]
+    fn edge_is_normalized() {
+        let cx = Instruction::two_qubit(Gate::Cx, Qubit::new(5), Qubit::new(2));
+        assert_eq!(cx.edge(), Some((Qubit::new(2), Qubit::new(5))));
+        let h = Instruction::single_qubit(Gate::H, Qubit::new(0));
+        assert_eq!(h.edge(), None);
+    }
+
+    #[test]
+    fn sharing() {
+        let a = Instruction::two_qubit(Gate::Cx, Qubit::new(0), Qubit::new(1));
+        let b = Instruction::two_qubit(Gate::Cx, Qubit::new(1), Qubit::new(2));
+        let c = Instruction::two_qubit(Gate::Cx, Qubit::new(3), Qubit::new(4));
+        assert!(a.shares_qubit(&b));
+        assert!(!a.shares_qubit(&c));
+    }
+
+    #[test]
+    fn inverse_keeps_qubits() {
+        let s = Instruction::single_qubit(Gate::S, Qubit::new(7));
+        let inv = s.inverse().unwrap();
+        assert_eq!(inv.gate(), &Gate::Sdg);
+        assert_eq!(inv.qubits(), s.qubits());
+        assert!(Instruction::measure(Qubit::new(0), Clbit::new(0)).inverse().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let cx = Instruction::two_qubit(Gate::Cx, Qubit::new(0), Qubit::new(1));
+        assert_eq!(cx.to_string(), "cx q0, q1");
+        let m = Instruction::measure(Qubit::new(3), Clbit::new(3));
+        assert_eq!(m.to_string(), "measure q3 -> c3");
+    }
+}

@@ -1,0 +1,335 @@
+//! OpenQASM 2.0 export and a minimal importer.
+//!
+//! The exporter emits a single `q`/`c` register pair and the gate mnemonics
+//! of [`crate::Gate`]; the importer accepts exactly that dialect (which is
+//! also the dialect IBMQ backends of the paper's era consumed), so
+//! `parse(&dump(c))` round-trips any circuit this crate can build.
+
+use crate::{Circuit, Gate, Instruction, IrError, Qubit};
+
+/// Serializes a circuit to OpenQASM 2.0 text.
+///
+/// ```
+/// use xtalk_ir::{qasm, Circuit};
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = qasm::dump(&c);
+/// assert!(text.contains("cx q[0],q[1];"));
+/// let back = qasm::parse(&text).unwrap();
+/// assert_eq!(back, c);
+/// ```
+pub fn dump(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    if circuit.num_clbits() > 0 {
+        out.push_str(&format!("creg c[{}];\n", circuit.num_clbits()));
+    }
+    for instr in circuit.iter() {
+        out.push_str(&format_instruction(instr));
+        out.push('\n');
+    }
+    out
+}
+
+fn format_instruction(instr: &Instruction) -> String {
+    let gate = instr.gate();
+    let qs = instr
+        .qubits()
+        .iter()
+        .map(|q| format!("q[{}]", q.index()))
+        .collect::<Vec<_>>()
+        .join(",");
+    match gate {
+        Gate::Measure => {
+            let c = instr.clbit().expect("measure carries a clbit");
+            format!("measure {qs} -> c[{}];", c.index())
+        }
+        Gate::Barrier => format!("barrier {qs};"),
+        _ => {
+            let ps = gate.params();
+            if ps.is_empty() {
+                format!("{} {qs};", gate.name())
+            } else {
+                let params = ps
+                    .iter()
+                    .map(|p| format!("{p:.12}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{}({params}) {qs};", gate.name())
+            }
+        }
+    }
+}
+
+/// Parses the OpenQASM 2.0 dialect produced by [`dump`].
+///
+/// # Errors
+///
+/// Returns [`IrError::QasmParse`] describing the first offending line:
+/// unknown gates, malformed arguments, references outside the declared
+/// registers, or a missing register declaration.
+pub fn parse(source: &str) -> Result<Circuit, IrError> {
+    let mut nq: Option<usize> = None;
+    let mut nc: usize = 0;
+    let mut body: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
+            continue;
+        }
+        let line = line.strip_suffix(';').ok_or_else(|| IrError::QasmParse {
+            line: lineno + 1,
+            message: "missing trailing semicolon".into(),
+        })?;
+        if let Some(rest) = line.strip_prefix("qreg ") {
+            nq = Some(parse_reg_decl(rest, "q", lineno + 1)?);
+        } else if let Some(rest) = line.strip_prefix("creg ") {
+            nc = parse_reg_decl(rest, "c", lineno + 1)?;
+        } else {
+            body.push((lineno + 1, line.to_string()));
+        }
+    }
+
+    let nq = nq.ok_or_else(|| IrError::QasmParse {
+        line: 0,
+        message: "no qreg declaration found".into(),
+    })?;
+    let mut circuit = Circuit::new(nq, nc);
+
+    for (lineno, line) in body {
+        let instr = parse_statement(&line, lineno)?;
+        circuit.try_push(instr).map_err(|e| IrError::QasmParse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(circuit)
+}
+
+fn parse_reg_decl(rest: &str, expected: &str, line: usize) -> Result<usize, IrError> {
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| IrError::QasmParse {
+        line,
+        message: "malformed register declaration".into(),
+    })?;
+    let name = &rest[..open];
+    if name != expected {
+        return Err(IrError::QasmParse {
+            line,
+            message: format!("expected register named `{expected}`, found `{name}`"),
+        });
+    }
+    let close = rest.find(']').ok_or_else(|| IrError::QasmParse {
+        line,
+        message: "malformed register declaration".into(),
+    })?;
+    rest[open + 1..close].parse().map_err(|_| IrError::QasmParse {
+        line,
+        message: "register size is not an integer".into(),
+    })
+}
+
+fn parse_index(tok: &str, reg: &str, line: usize) -> Result<usize, IrError> {
+    let tok = tok.trim();
+    let want = format!("{reg}[");
+    let inner = tok
+        .strip_prefix(&want)
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| IrError::QasmParse {
+            line,
+            message: format!("expected `{reg}[i]`, found `{tok}`"),
+        })?;
+    inner.parse().map_err(|_| IrError::QasmParse {
+        line,
+        message: format!("bad index in `{tok}`"),
+    })
+}
+
+fn parse_params(text: &str, line: usize) -> Result<Vec<f64>, IrError> {
+    text.split(',')
+        .map(|t| {
+            parse_angle(t.trim()).ok_or_else(|| IrError::QasmParse {
+                line,
+                message: format!("bad angle `{t}`"),
+            })
+        })
+        .collect()
+}
+
+/// Parses a float, also accepting the `pi`-expressions Qiskit commonly
+/// emits (`pi`, `-pi/2`, `3*pi/4`, …).
+fn parse_angle(t: &str) -> Option<f64> {
+    if let Ok(v) = t.parse::<f64>() {
+        return Some(v);
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, t),
+    };
+    let (num, den): (&str, f64) = match t.split_once('/') {
+        Some((n, d)) => (n.trim(), d.trim().parse::<f64>().ok()?),
+        None => (t, 1.0),
+    };
+    let num_val = if num == "pi" {
+        std::f64::consts::PI
+    } else if let Some(mult) = num.strip_suffix("*pi") {
+        mult.trim().parse::<f64>().ok()? * std::f64::consts::PI
+    } else {
+        return None;
+    };
+    let v = num_val / den;
+    Some(if neg { -v } else { v })
+}
+
+fn parse_statement(line: &str, lineno: usize) -> Result<Instruction, IrError> {
+    // measure q[i] -> c[j]
+    if let Some(rest) = line.strip_prefix("measure ") {
+        let (qtok, ctok) = rest.split_once("->").ok_or_else(|| IrError::QasmParse {
+            line: lineno,
+            message: "measure missing `->`".into(),
+        })?;
+        let q = parse_index(qtok, "q", lineno)?;
+        let c = parse_index(ctok, "c", lineno)?;
+        return Ok(Instruction::measure(Qubit::from(q), crate::Clbit::from(c)));
+    }
+    if let Some(rest) = line.strip_prefix("barrier ") {
+        let qs = rest
+            .split(',')
+            .map(|t| parse_index(t, "q", lineno).map(Qubit::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Instruction::barrier(qs));
+    }
+
+    // gate[(params)] q[i](,q[j])
+    let (head, args) = line.split_once(' ').ok_or_else(|| IrError::QasmParse {
+        line: lineno,
+        message: "missing gate arguments".into(),
+    })?;
+    let (name, params) = match head.split_once('(') {
+        Some((n, p)) => {
+            let p = p.strip_suffix(')').ok_or_else(|| IrError::QasmParse {
+                line: lineno,
+                message: "unterminated parameter list".into(),
+            })?;
+            (n, parse_params(p, lineno)?)
+        }
+        None => (head, Vec::new()),
+    };
+    let qubits: Vec<Qubit> = args
+        .split(',')
+        .map(|t| parse_index(t, "q", lineno).map(Qubit::from))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let gate = gate_from_name(name, &params).ok_or_else(|| IrError::QasmParse {
+        line: lineno,
+        message: format!("unknown gate `{name}` with {} parameter(s)", params.len()),
+    })?;
+    Ok(Instruction::new(gate, qubits, None))
+}
+
+fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
+    Some(match (name, params.len()) {
+        ("id", 0) => Gate::I,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("h", 0) => Gate::H,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("u1", 1) => Gate::U1(params[0]),
+        ("u2", 2) => Gate::U2(params[0], params[1]),
+        ("u3", 3) => Gate::U3(params[0], params[1], params[2]),
+        ("rx", 1) => Gate::Rx(params[0]),
+        ("ry", 1) => Gate::Ry(params[0]),
+        ("rz", 1) => Gate::Rz(params[0]),
+        ("cx", 0) => Gate::Cx,
+        ("cz", 0) => Gate::Cz,
+        ("swap", 0) => Gate::Swap,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.h(0)
+            .u3(0.1, -0.2, 0.3, 1)
+            .cx(0, 1)
+            .rz(1.5, 2)
+            .barrier([0u32, 1u32])
+            .measure(0, 0)
+            .measure(1, 1);
+        c
+    }
+
+    #[test]
+    fn dump_contains_declarations() {
+        let text = dump(&sample());
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("creg c[3];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+        assert!(text.contains("barrier q[0],q[1];"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let back = parse(&dump(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_gate() {
+        let err = parse("qreg q[1];\nfoo q[0];\n").unwrap_err();
+        assert!(matches!(err, IrError::QasmParse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_missing_semicolon() {
+        let err = parse("qreg q[1]\n").unwrap_err();
+        assert!(matches!(err, IrError::QasmParse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_requires_qreg() {
+        let err = parse("creg c[1];\n").unwrap_err();
+        assert!(matches!(err, IrError::QasmParse { line: 0, .. }));
+    }
+
+    #[test]
+    fn parse_range_checked() {
+        let err = parse("qreg q[1];\nh q[3];\n").unwrap_err();
+        assert!(matches!(err, IrError::QasmParse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_pi_expressions() {
+        let c = parse("qreg q[1];\nu2(0,pi) q[0];\nrz(-pi/2) q[0];\nrx(3*pi/4) q[0];\n").unwrap();
+        assert_eq!(c.len(), 3);
+        match c.instructions()[0].gate() {
+            Gate::U2(phi, lam) => {
+                assert_eq!(*phi, 0.0);
+                assert!((lam - std::f64::consts::PI).abs() < 1e-12);
+            }
+            g => panic!("unexpected gate {g}"),
+        }
+        match c.instructions()[2].gate() {
+            Gate::Rx(a) => assert!((a - 3.0 * std::f64::consts::FRAC_PI_4).abs() < 1e-12),
+            g => panic!("unexpected gate {g}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse("// header\nqreg q[2];\n\nh q[0]; // apply h\ncx q[0],q[1];\n").unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Typed indices for quantum and classical bits.
+
+use std::fmt;
+
+/// Index of a physical or logical qubit.
+///
+/// A plain `u32` newtype ([C-NEWTYPE]) so that qubit indices cannot be
+/// confused with classical-bit indices or instruction indices.
+///
+/// ```
+/// use xtalk_ir::Qubit;
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the raw index as a `usize`, convenient for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(i: u32) -> Self {
+        Qubit(i)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(i: usize) -> Self {
+        Qubit(u32::try_from(i).expect("qubit index overflows u32"))
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> usize {
+        q.index()
+    }
+}
+
+impl From<i32> for Qubit {
+    /// Accepts non-negative integer literals (`circuit.h(0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    fn from(i: i32) -> Self {
+        Qubit(u32::try_from(i).expect("qubit index must be non-negative"))
+    }
+}
+
+/// Index of a classical (readout) bit.
+///
+/// ```
+/// use xtalk_ir::Clbit;
+/// assert_eq!(Clbit::new(1).to_string(), "c1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Clbit(u32);
+
+impl Clbit {
+    /// Creates a classical-bit index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Clbit(index)
+    }
+
+    /// Returns the raw index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Clbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for Clbit {
+    fn from(i: u32) -> Self {
+        Clbit(i)
+    }
+}
+
+impl From<usize> for Clbit {
+    fn from(i: usize) -> Self {
+        Clbit(u32::try_from(i).expect("clbit index overflows u32"))
+    }
+}
+
+impl From<i32> for Clbit {
+    /// Accepts non-negative integer literals (`circuit.measure(0, 0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is negative.
+    fn from(i: i32) -> Self {
+        Clbit(u32::try_from(i).expect("clbit index must be non-negative"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(17);
+        assert_eq!(q.index(), 17);
+        assert_eq!(q.raw(), 17);
+        assert_eq!(Qubit::from(17u32), q);
+        assert_eq!(Qubit::from(17usize), q);
+        assert_eq!(usize::from(q), 17);
+    }
+
+    #[test]
+    fn qubit_ordering_follows_index() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+        assert_eq!(Qubit::new(5), Qubit::new(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Clbit::new(12).to_string(), "c12");
+    }
+
+    #[test]
+    fn clbit_roundtrip() {
+        let c = Clbit::new(4);
+        assert_eq!(c.index(), 4);
+        assert_eq!(Clbit::from(4u32), c);
+        assert_eq!(Clbit::from(4usize), c);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Qubit::default(), Qubit::new(0));
+        assert_eq!(Clbit::default(), Clbit::new(0));
+    }
+}

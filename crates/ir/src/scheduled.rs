@@ -1,0 +1,359 @@
+//! Circuits with explicit start times.
+
+use crate::{Circuit, IrError, Qubit};
+use std::fmt;
+
+/// The time slot assigned to one instruction: a start time and a duration,
+/// both in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScheduleSlot {
+    /// Start time (ns).
+    pub start: u64,
+    /// Duration (ns). Virtual gates and barriers have duration 0.
+    pub duration: u64,
+}
+
+impl ScheduleSlot {
+    /// Creates a slot.
+    pub const fn new(start: u64, duration: u64) -> Self {
+        ScheduleSlot { start, duration }
+    }
+
+    /// Finish time (`start + duration`).
+    pub const fn finish(self) -> u64 {
+        self.start + self.duration
+    }
+
+    /// `true` if two slots overlap in time with positive measure (half-open
+    /// interval intersection: `[s, s+d)`). Zero-duration slots never overlap
+    /// anything.
+    pub const fn overlaps(self, other: ScheduleSlot) -> bool {
+        self.duration > 0
+            && other.duration > 0
+            && self.start < other.finish()
+            && other.start < self.finish()
+    }
+}
+
+/// A [`Circuit`] together with one [`ScheduleSlot`] per instruction — the
+/// output of an instruction scheduler and the input to the noisy executor.
+///
+/// ```
+/// use xtalk_ir::{Circuit, ScheduleSlot, ScheduledCircuit};
+/// let mut c = Circuit::new(2, 0);
+/// c.cx(0, 1).cx(0, 1);
+/// let sched = ScheduledCircuit::new(
+///     c,
+///     vec![ScheduleSlot::new(0, 300), ScheduleSlot::new(300, 300)],
+/// ).unwrap();
+/// assert_eq!(sched.makespan(), 600);
+/// sched.validate().unwrap();
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScheduledCircuit {
+    circuit: Circuit,
+    slots: Vec<ScheduleSlot>,
+}
+
+impl ScheduledCircuit {
+    /// Pairs a circuit with its slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ScheduleLengthMismatch`] if the slot count does
+    /// not match the instruction count.
+    pub fn new(circuit: Circuit, slots: Vec<ScheduleSlot>) -> Result<Self, IrError> {
+        if circuit.len() != slots.len() {
+            return Err(IrError::ScheduleLengthMismatch {
+                slots: slots.len(),
+                instructions: circuit.len(),
+            });
+        }
+        Ok(ScheduledCircuit { circuit, slots })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The slot of instruction `i`.
+    pub fn slot(&self, i: usize) -> ScheduleSlot {
+        self.slots[i]
+    }
+
+    /// All slots, indexed like the circuit's instructions.
+    pub fn slots(&self) -> &[ScheduleSlot] {
+        &self.slots
+    }
+
+    /// Consumes the schedule, returning its parts.
+    pub fn into_parts(self) -> (Circuit, Vec<ScheduleSlot>) {
+        (self.circuit, self.slots)
+    }
+
+    /// Total schedule length: the latest finish time (0 for an empty
+    /// circuit).
+    pub fn makespan(&self) -> u64 {
+        self.slots.iter().map(|s| s.finish()).max().unwrap_or(0)
+    }
+
+    /// Start of the first non-barrier instruction touching `q`, if any.
+    pub fn qubit_first_start(&self, q: Qubit) -> Option<u64> {
+        self.circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| !ins.gate().is_barrier() && ins.acts_on(q))
+            .map(|(i, _)| self.slots[i].start)
+            .min()
+    }
+
+    /// Finish of the last non-barrier instruction touching `q`, if any.
+    pub fn qubit_last_finish(&self, q: Qubit) -> Option<u64> {
+        self.circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| !ins.gate().is_barrier() && ins.acts_on(q))
+            .map(|(i, _)| self.slots[i].finish())
+            .max()
+    }
+
+    /// The paper's qubit lifetime `q.t` (Eq. 9): time between the first
+    /// operation's start and the last operation's finish on `q`; 0 if the
+    /// qubit is idle for the whole program.
+    pub fn qubit_lifetime(&self, q: Qubit) -> u64 {
+        match (self.qubit_first_start(q), self.qubit_last_finish(q)) {
+            (Some(s), Some(f)) => f - s,
+            _ => 0,
+        }
+    }
+
+    /// All unordered pairs `(i, j)` of *two-qubit* instructions that overlap
+    /// in time (sweep line over start-sorted intervals, so densely
+    /// parallel schedules stay cheap). This is what the crosstalk noise
+    /// model consumes; pairs are reported with `i` starting no later
+    /// than `j` (ties by index).
+    pub fn overlapping_two_qubit_pairs(&self) -> Vec<(usize, usize)> {
+        let mut idx: Vec<usize> = self
+            .circuit
+            .iter()
+            .enumerate()
+            .filter(|&(i, ins)| ins.gate().is_two_qubit() && self.slots[i].duration > 0)
+            .map(|(i, _)| i)
+            .collect();
+        idx.sort_by_key(|&i| (self.slots[i].start, i));
+        let mut out = Vec::new();
+        // Active set of intervals whose finish exceeds the sweep point.
+        let mut active: Vec<usize> = Vec::new();
+        for &j in &idx {
+            let start_j = self.slots[j].start;
+            active.retain(|&i| self.slots[i].finish() > start_j);
+            for &i in &active {
+                debug_assert!(self.slots[i].overlaps(self.slots[j]));
+                out.push((i, j));
+            }
+            active.push(j);
+        }
+        out
+    }
+
+    /// Checks schedule legality.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::ScheduleQubitOverlap`] — two instructions sharing a
+    ///   qubit occupy overlapping slots.
+    /// * [`IrError::ScheduleDependencyViolation`] — a dependent instruction
+    ///   starts before its predecessor finishes.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let dag = self.circuit.dag();
+        for i in 0..self.circuit.len() {
+            for &p in dag.predecessors(i) {
+                if self.slots[i].start < self.slots[p].finish() {
+                    return Err(IrError::ScheduleDependencyViolation { before: p, after: i });
+                }
+            }
+        }
+        // Qubit-exclusivity: any two instructions on a shared qubit must not
+        // overlap (dependencies already order them, but a corrupt schedule
+        // could still overlap independent re-uses through barriers).
+        let instrs = self.circuit.instructions();
+        for i in 0..instrs.len() {
+            if instrs[i].gate().is_barrier() {
+                continue;
+            }
+            for j in i + 1..instrs.len() {
+                if instrs[j].gate().is_barrier() {
+                    continue;
+                }
+                if instrs[i].shares_qubit(&instrs[j]) && self.slots[i].overlaps(self.slots[j]) {
+                    let q = instrs[i]
+                        .qubits()
+                        .iter()
+                        .find(|q| instrs[j].acts_on(**q))
+                        .expect("shared qubit exists");
+                    return Err(IrError::ScheduleQubitOverlap {
+                        first: i,
+                        second: j,
+                        qubit: q.index(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shifts every slot right so the schedule ends exactly at `end`.
+    ///
+    /// Used to model IBMQ right-alignment, where readouts happen
+    /// simultaneously at the end of the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is earlier than the current makespan.
+    pub fn right_align_to(&mut self, end: u64) {
+        let span = self.makespan();
+        assert!(end >= span, "cannot right-align to earlier than makespan");
+        let shift = end - span;
+        for s in &mut self.slots {
+            s.start += shift;
+        }
+    }
+}
+
+impl fmt::Display for ScheduledCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule<makespan {} ns>", self.makespan())?;
+        let mut order: Vec<usize> = (0..self.circuit.len()).collect();
+        order.sort_by_key(|&i| (self.slots[i].start, i));
+        for i in order {
+            let s = self.slots[i];
+            writeln!(
+                f,
+                "  [{:>6} .. {:>6}] {}",
+                s.start,
+                s.finish(),
+                self.circuit.instructions()[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cx() -> Circuit {
+        let mut c = Circuit::new(2, 0);
+        c.cx(0, 1).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let c = two_cx();
+        assert!(matches!(
+            ScheduledCircuit::new(c, vec![ScheduleSlot::new(0, 100)]),
+            Err(IrError::ScheduleLengthMismatch { slots: 1, instructions: 2 })
+        ));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ScheduleSlot::new(0, 100);
+        let b = ScheduleSlot::new(50, 100);
+        let c = ScheduleSlot::new(100, 100);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c)); // touching endpoints do not overlap
+        assert!(!ScheduleSlot::new(10, 0).overlaps(a)); // zero duration
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let s = ScheduledCircuit::new(
+            two_cx(),
+            vec![ScheduleSlot::new(0, 300), ScheduleSlot::new(100, 300)],
+        )
+        .unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(IrError::ScheduleDependencyViolation { before: 0, after: 1 })
+        ));
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let s = ScheduledCircuit::new(
+            two_cx(),
+            vec![ScheduleSlot::new(0, 300), ScheduleSlot::new(300, 300)],
+        )
+        .unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.makespan(), 600);
+    }
+
+    #[test]
+    fn lifetimes() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 1).h(2);
+        let s = ScheduledCircuit::new(
+            c,
+            vec![ScheduleSlot::new(100, 300), ScheduleSlot::new(0, 50)],
+        )
+        .unwrap();
+        assert_eq!(s.qubit_lifetime(Qubit::new(0)), 300);
+        assert_eq!(s.qubit_lifetime(Qubit::new(2)), 50);
+        assert_eq!(s.qubit_first_start(Qubit::new(2)), Some(0));
+    }
+
+    #[test]
+    fn idle_qubit_has_zero_lifetime() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0);
+        let s = ScheduledCircuit::new(c, vec![ScheduleSlot::new(0, 50)]).unwrap();
+        assert_eq!(s.qubit_lifetime(Qubit::new(2)), 0);
+    }
+
+    #[test]
+    fn overlapping_two_qubit_pairs_found() {
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 1).cx(2, 3).h(0);
+        let s = ScheduledCircuit::new(
+            c,
+            vec![
+                ScheduleSlot::new(0, 300),
+                ScheduleSlot::new(100, 300),
+                ScheduleSlot::new(300, 50),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.overlapping_two_qubit_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn right_align_shifts_all() {
+        let mut s = ScheduledCircuit::new(
+            two_cx(),
+            vec![ScheduleSlot::new(0, 300), ScheduleSlot::new(300, 300)],
+        )
+        .unwrap();
+        s.right_align_to(1000);
+        assert_eq!(s.slot(0).start, 400);
+        assert_eq!(s.makespan(), 1000);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_slots_are_ignored_by_lifetime() {
+        let mut c = Circuit::new(2, 0);
+        c.barrier_all().cx(0, 1);
+        let s = ScheduledCircuit::new(
+            c,
+            vec![ScheduleSlot::new(0, 0), ScheduleSlot::new(500, 300)],
+        )
+        .unwrap();
+        assert_eq!(s.qubit_first_start(Qubit::new(0)), Some(500));
+        assert_eq!(s.qubit_lifetime(Qubit::new(0)), 300);
+    }
+}

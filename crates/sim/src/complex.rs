@@ -1,0 +1,184 @@
+//! A minimal complex-number type (the approved dependency set has no
+//! `num-complex`, and the simulator only needs a handful of operations).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` parts.
+///
+/// ```
+/// use xtalk_sim::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::cis(std::f64::consts::PI) + C64::ONE).norm() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// `true` if within `eps` of `other` (component-wise).
+    pub fn approx_eq(self, other: C64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, s: f64) -> C64 {
+        self.scale(s)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    fn div(self, s: f64) -> C64 {
+        C64 { re: self.re / s, im: self.im / s }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(a * 2.0, C64::new(2.0, 4.0));
+        assert_eq!(a / 2.0, C64::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        for k in 0..8 {
+            let t = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!((C64::cis(t).norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(C64::cis(std::f64::consts::FRAC_PI_2).approx_eq(C64::I, 1e-12));
+    }
+
+    #[test]
+    fn display_sign_handling() {
+        assert_eq!(C64::new(1.0, -1.0).to_string(), "1.000000-1.000000i");
+        assert_eq!(C64::new(0.0, 2.0).to_string(), "0.000000+2.000000i");
+    }
+}

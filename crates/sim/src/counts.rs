@@ -1,0 +1,226 @@
+//! Measurement outcome histograms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A histogram of measured classical bitstrings, keyed little-endian
+/// (clbit `i` is bit `i` of the key).
+///
+/// ```
+/// use xtalk_sim::Counts;
+/// let mut c = Counts::new(2);
+/// c.record(0b00);
+/// c.record(0b11);
+/// c.record(0b11);
+/// assert_eq!(c.shots(), 3);
+/// assert!((c.probability(0b11) - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(c.most_frequent(), Some(0b11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counts {
+    num_bits: usize,
+    map: HashMap<u64, u64>,
+    shots: u64,
+}
+
+impl Counts {
+    /// An empty histogram over `num_bits` classical bits.
+    pub fn new(num_bits: usize) -> Self {
+        assert!(num_bits <= 64, "at most 64 classical bits");
+        Counts { num_bits, map: HashMap::new(), shots: 0 }
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Records one shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` uses bits beyond `num_bits`.
+    pub fn record(&mut self, outcome: u64) {
+        assert!(
+            self.num_bits == 64 || outcome < (1u64 << self.num_bits),
+            "outcome {outcome:#b} exceeds {} bits",
+            self.num_bits
+        );
+        *self.map.entry(outcome).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// Records `n` identical shots.
+    pub fn record_many(&mut self, outcome: u64, n: u64) {
+        for _ in 0..n.min(1) {
+            self.record(outcome);
+        }
+        if n > 1 {
+            *self.map.entry(outcome).or_insert(0) += n - 1;
+            self.shots += n - 1;
+        }
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Raw count of an outcome.
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.map.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of an outcome (0 if no shots).
+    pub fn probability(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// The full empirical distribution as a dense vector of length
+    /// `2^num_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits > 24` (the dense form would be enormous).
+    pub fn distribution(&self) -> Vec<f64> {
+        assert!(self.num_bits <= 24, "dense distribution too large");
+        let mut v = vec![0.0; 1 << self.num_bits];
+        if self.shots > 0 {
+            for (&b, &c) in &self.map {
+                v[b as usize] = c as f64 / self.shots as f64;
+            }
+        }
+        v
+    }
+
+    /// The modal outcome, ties broken toward the smaller bitstring.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.map
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&b, _)| b)
+    }
+
+    /// Fraction of shots equal to `target` — the Hidden Shift success
+    /// metric of the paper (error rate = `1 - success_fraction`).
+    pub fn success_fraction(&self, target: u64) -> f64 {
+        self.probability(target)
+    }
+
+    /// Iterates `(outcome, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bit-width mismatch.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.num_bits, other.num_bits, "bit widths must match");
+        for (b, c) in other.iter() {
+            *self.map.entry(b).or_insert(0) += c;
+            self.shots += c;
+        }
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<(u64, u64)> = self.iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        write!(f, "counts<{} shots>{{", self.shots)?;
+        for (i, (b, c)) in entries.iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b:0width$b}: {c}", width = self.num_bits)?;
+        }
+        if entries.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(3);
+        c.record(0b101);
+        c.record(0b101);
+        c.record(0b010);
+        assert_eq!(c.count(0b101), 2);
+        assert_eq!(c.shots(), 3);
+        assert_eq!(c.most_frequent(), Some(0b101));
+        assert!((c.success_fraction(0b010) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_many_matches_loop() {
+        let mut a = Counts::new(2);
+        a.record_many(0b01, 5);
+        let mut b = Counts::new(2);
+        for _ in 0..5 {
+            b.record(0b01);
+        }
+        assert_eq!(a, b);
+        a.record_many(0b10, 0);
+        assert_eq!(a.shots(), 5);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut c = Counts::new(2);
+        c.record(0);
+        c.record(1);
+        c.record(1);
+        c.record(3);
+        let d = c.distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d[1], 0.5);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let c = Counts::new(2);
+        assert_eq!(c.probability(0), 0.0);
+        assert_eq!(c.most_frequent(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counts::new(1);
+        a.record(0);
+        let mut b = Counts::new(1);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.shots(), 3);
+        assert_eq!(a.count(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_outcome() {
+        Counts::new(2).record(0b100);
+    }
+
+    #[test]
+    fn display_shows_top_outcomes() {
+        let mut c = Counts::new(2);
+        c.record(0b11);
+        c.record(0b11);
+        c.record(0b00);
+        let s = c.to_string();
+        assert!(s.contains("11: 2"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Exact noise-free execution (the reference for cross-entropy metrics).
+
+use crate::StateVector;
+use xtalk_ir::Circuit;
+
+/// Runs `circuit` without any noise and returns the exact probability
+/// distribution over the classical register (dense, length
+/// `2^num_clbits`), assuming each measured qubit receives no further
+/// gates after its measurement.
+///
+/// # Panics
+///
+/// Panics if a qubit is operated on after being measured, or if the
+/// classical register is wider than 24 bits (dense output).
+///
+/// ```
+/// use xtalk_ir::Circuit;
+/// use xtalk_sim::ideal;
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let p = ideal::distribution(&c);
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+pub fn distribution(circuit: &Circuit) -> Vec<f64> {
+    assert!(circuit.num_clbits() <= 24, "classical register too wide for dense output");
+    let mut state = StateVector::new(circuit.num_qubits());
+    // qubit → clbit for deferred measurement.
+    let mut measured: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+
+    for instr in circuit.iter() {
+        if instr.gate().is_barrier() {
+            continue;
+        }
+        for q in instr.qubits() {
+            assert!(
+                measured[q.index()].is_none(),
+                "qubit {q} is used after measurement; ideal execution assumes terminal readout"
+            );
+        }
+        if instr.gate().is_measurement() {
+            measured[instr.qubits()[0].index()] =
+                Some(instr.clbit().expect("measure carries a clbit").index());
+        } else {
+            let qs: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+            state.apply_gate(instr.gate(), &qs);
+        }
+    }
+
+    let mut out = vec![0.0; 1 << circuit.num_clbits()];
+    for (b, p) in state.probabilities().into_iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let mut key = 0usize;
+        for (q, m) in measured.iter().enumerate() {
+            if let Some(c) = m {
+                if (b >> q) & 1 == 1 {
+                    key |= 1 << c;
+                }
+            }
+        }
+        out[key] += p;
+    }
+    out
+}
+
+/// The final statevector of a measurement-free circuit.
+///
+/// # Panics
+///
+/// Panics if the circuit contains measurements.
+pub fn final_state(circuit: &Circuit) -> StateVector {
+    let mut state = StateVector::new(circuit.num_qubits());
+    for instr in circuit.iter() {
+        if instr.gate().is_barrier() {
+            continue;
+        }
+        assert!(
+            !instr.gate().is_measurement(),
+            "final_state requires a measurement-free circuit"
+        );
+        let qs: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+        state.apply_gate(instr.gate(), &qs);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_circuit() {
+        let mut c = Circuit::new(2, 2);
+        c.x(0).measure_all();
+        let p = distribution(&c);
+        assert_eq!(p[0b01], 1.0);
+    }
+
+    #[test]
+    fn unmeasured_qubits_are_marginalized() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).x(1).measure(0, 0);
+        let p = distribution(&c);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clbit_permutation_respected() {
+        let mut c = Circuit::new(2, 2);
+        c.x(0).measure(0, 1).measure(1, 0);
+        let p = distribution(&c);
+        assert_eq!(p[0b10], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after measurement")]
+    fn gate_after_measure_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0).x(0);
+        distribution(&c);
+    }
+
+    #[test]
+    fn final_state_of_ghz() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let s = final_state(&c);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).h(1).cx(1, 2).t(0).measure_all();
+        let p = distribution(&c);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

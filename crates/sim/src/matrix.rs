@@ -1,0 +1,285 @@
+//! Gate matrices (2×2 and 4×4) over [`C64`].
+
+use crate::C64;
+use xtalk_ir::Gate;
+
+/// A 2×2 complex matrix (single-qubit unitary), row-major.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Mat2(pub [[C64; 2]; 2]);
+
+/// A 4×4 complex matrix (two-qubit unitary), row-major in the basis
+/// `|q1 q0⟩` = `|00⟩,|01⟩,|10⟩,|11⟩` with *qubit 0 the least-significant
+/// bit* (matching [`crate::StateVector`]'s little-endian convention).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Mat4(pub [[C64; 4]; 4]);
+
+impl Mat2 {
+    /// Identity.
+    pub fn identity() -> Self {
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        Mat2([[o, z], [z, o]])
+    }
+
+    /// Matrix product `self · other`.
+    pub fn mul(&self, other: &Mat2) -> Mat2 {
+        let mut out = [[C64::ZERO; 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..2 {
+                    *cell += self.0[i][k] * other.0[k][j];
+                }
+            }
+        }
+        Mat2(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat2 {
+        let m = &self.0;
+        Mat2([[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]])
+    }
+
+    /// `true` if `U·U† = I` within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.mul(&self.dagger());
+        let id = Mat2::identity();
+        (0..2).all(|i| (0..2).all(|j| p.0[i][j].approx_eq(id.0[i][j], eps)))
+    }
+}
+
+impl Mat4 {
+    /// Identity.
+    pub fn identity() -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = C64::ONE;
+        }
+        Mat4(m)
+    }
+
+    /// Matrix product `self · other`.
+    pub fn mul(&self, other: &Mat4) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..4 {
+                    *cell += self.0[i][k] * other.0[k][j];
+                }
+            }
+        }
+        Mat4(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.0[j][i].conj();
+            }
+        }
+        Mat4(out)
+    }
+
+    /// `true` if `U·U† = I` within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.mul(&self.dagger());
+        let id = Mat4::identity();
+        (0..4).all(|i| (0..4).all(|j| p.0[i][j].approx_eq(id.0[i][j], eps)))
+    }
+
+    /// Kronecker product `b ⊗ a` laid out so that `a` acts on qubit 0
+    /// (LSB) and `b` on qubit 1.
+    pub fn kron(a: &Mat2, b: &Mat2) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for i1 in 0..2 {
+            for i0 in 0..2 {
+                for j1 in 0..2 {
+                    for j0 in 0..2 {
+                        out[i1 * 2 + i0][j1 * 2 + j0] = b.0[i1][j1] * a.0[i0][j0];
+                    }
+                }
+            }
+        }
+        Mat4(out)
+    }
+}
+
+/// The unitary of a single-qubit gate.
+///
+/// # Panics
+///
+/// Panics for non-unitary or multi-qubit gates.
+pub fn single_qubit_matrix(gate: &Gate) -> Mat2 {
+    use std::f64::consts::FRAC_1_SQRT_2 as R;
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    let i = C64::I;
+    match *gate {
+        Gate::I => Mat2::identity(),
+        Gate::X => Mat2([[z, o], [o, z]]),
+        Gate::Y => Mat2([[z, -i], [i, z]]),
+        Gate::Z => Mat2([[o, z], [z, -o]]),
+        Gate::H => Mat2([[C64::real(R), C64::real(R)], [C64::real(R), C64::real(-R)]]),
+        Gate::S => Mat2([[o, z], [z, i]]),
+        Gate::Sdg => Mat2([[o, z], [z, -i]]),
+        Gate::T => Mat2([[o, z], [z, C64::cis(std::f64::consts::FRAC_PI_4)]]),
+        Gate::Tdg => Mat2([[o, z], [z, C64::cis(-std::f64::consts::FRAC_PI_4)]]),
+        Gate::U1(l) => Mat2([[o, z], [z, C64::cis(l)]]),
+        Gate::U2(phi, lam) => u3_matrix(std::f64::consts::FRAC_PI_2, phi, lam),
+        Gate::U3(t, phi, lam) => u3_matrix(t, phi, lam),
+        Gate::Rx(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            Mat2([[C64::real(c), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::real(c)]])
+        }
+        Gate::Ry(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            Mat2([[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]])
+        }
+        Gate::Rz(a) => Mat2([[C64::cis(-a / 2.0), z], [z, C64::cis(a / 2.0)]]),
+        ref g => panic!("`{g}` is not a single-qubit unitary"),
+    }
+}
+
+fn u3_matrix(theta: f64, phi: f64, lam: f64) -> Mat2 {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2([
+        [C64::real(c), C64::cis(lam).scale(-s)],
+        [C64::cis(phi).scale(s), C64::cis(phi + lam).scale(c)],
+    ])
+}
+
+/// The unitary of a two-qubit gate in the `[first, second]` qubit order of
+/// the instruction, with `first` on the LSB of the 2-bit index.
+///
+/// # Panics
+///
+/// Panics for gates that are not two-qubit unitaries.
+pub fn two_qubit_matrix(gate: &Gate) -> Mat4 {
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    match gate {
+        // Control = qubit index 0 (LSB), target = qubit index 1:
+        // |c t⟩ indices 0:|00⟩ 1:|c=1,t=0⟩→|11⟩… basis index = t*2 + c.
+        Gate::Cx => Mat4([
+            [o, z, z, z],
+            [z, z, z, o],
+            [z, z, o, z],
+            [z, o, z, z],
+        ]),
+        Gate::Cz => Mat4([
+            [o, z, z, z],
+            [z, o, z, z],
+            [z, z, o, z],
+            [z, z, z, -o],
+        ]),
+        Gate::Swap => Mat4([
+            [o, z, z, z],
+            [z, z, o, z],
+            [z, o, z, z],
+            [z, z, z, o],
+        ]),
+        g => panic!("`{g}` is not a two-qubit unitary"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn all_single_qubit_gates_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::U1(0.7),
+            Gate::U2(0.3, -1.1),
+            Gate::U3(0.5, 1.2, -0.4),
+            Gate::Rx(0.9),
+            Gate::Ry(-2.1),
+            Gate::Rz(0.33),
+        ];
+        for g in gates {
+            assert!(single_qubit_matrix(&g).is_unitary(1e-12), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_are_unitary() {
+        for g in [Gate::Cx, Gate::Cz, Gate::Swap] {
+            assert!(two_qubit_matrix(&g).is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let h = single_qubit_matrix(&Gate::H);
+        let hh = h.mul(&h);
+        let id = Mat2::identity();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(hh.0[i][j].approx_eq(id.0[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn u3_specializations() {
+        // u3(π/2, φ, λ) = u2(φ, λ); u3(0,0,λ) = u1(λ).
+        let u2 = single_qubit_matrix(&Gate::U2(0.4, 0.9));
+        let u3 = single_qubit_matrix(&Gate::U3(PI / 2.0, 0.4, 0.9));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(u2.0[i][j].approx_eq(u3.0[i][j], 1e-12));
+            }
+        }
+        // H = u2(0, π) exactly (up to nothing — same convention).
+        let h = single_qubit_matrix(&Gate::H);
+        let u2h = single_qubit_matrix(&Gate::U2(0.0, PI));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(h.0[i][j].approx_eq(u2h.0[i][j], 1e-12), "H != u2(0,π)");
+            }
+        }
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let cx = two_qubit_matrix(&Gate::Cx);
+        // basis index = target*2 + control; CX flips target when control=1.
+        // |c=1,t=0⟩ = index 1 → |c=1,t=1⟩ = index 3.
+        assert_eq!(cx.0[3][1], C64::ONE);
+        assert_eq!(cx.0[1][3], C64::ONE);
+        assert_eq!(cx.0[0][0], C64::ONE);
+        assert_eq!(cx.0[2][2], C64::ONE);
+    }
+
+    #[test]
+    fn kron_places_factors() {
+        let x = single_qubit_matrix(&Gate::X);
+        let id = Mat2::identity();
+        // X on qubit 0: flips LSB.
+        let m = Mat4::kron(&x, &id);
+        assert_eq!(m.0[1][0], C64::ONE);
+        assert_eq!(m.0[3][2], C64::ONE);
+        // X on qubit 1: flips MSB.
+        let m = Mat4::kron(&id, &x);
+        assert_eq!(m.0[2][0], C64::ONE);
+        assert_eq!(m.0[3][1], C64::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single-qubit unitary")]
+    fn measure_has_no_matrix() {
+        single_qubit_matrix(&Gate::Measure);
+    }
+}

@@ -1,0 +1,144 @@
+//! Distribution-distance metrics used in the paper's evaluation
+//! (Section 8.4): cross entropy for QAOA, success probability for Hidden
+//! Shift, plus standard extras.
+
+use crate::Counts;
+
+/// Cross entropy `−Σ_x p(x)·ln q(x)` between an ideal distribution `p`
+/// and an empirical distribution `q` (dense vectors of equal length).
+/// Zero-probability measured outcomes are floored at `eps` so the metric
+/// stays finite, as is conventional.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `eps <= 0`.
+pub fn cross_entropy(ideal: &[f64], measured: &[f64], eps: f64) -> f64 {
+    assert_eq!(ideal.len(), measured.len(), "distribution lengths must match");
+    assert!(eps > 0.0, "eps must be positive");
+    ideal
+        .iter()
+        .zip(measured)
+        .filter(|(&p, _)| p > 0.0)
+        .map(|(&p, &q)| -p * q.max(eps).ln())
+        .sum()
+}
+
+/// Cross entropy of counts against an ideal distribution, with the
+/// conventional `1/(2·shots)` floor.
+pub fn cross_entropy_counts(ideal: &[f64], counts: &Counts) -> f64 {
+    let eps = 0.5 / counts.shots().max(1) as f64;
+    cross_entropy(ideal, &counts.distribution(), eps)
+}
+
+/// Shannon entropy `−Σ p ln p` — the theoretical minimum of the cross
+/// entropy, achieved when the measured distribution equals the ideal
+/// (the paper's "Theoretical Ideal (Noise Free)" line in Figure 8).
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
+}
+
+/// Cross-entropy *loss*: `CE(p, q) − H(p) ≥ 0`, the quantity the paper's
+/// improvement factors are computed over.
+pub fn cross_entropy_loss(ideal: &[f64], counts: &Counts) -> f64 {
+    (cross_entropy_counts(ideal, counts) - entropy(ideal)).max(0.0)
+}
+
+/// Total variation distance `½ Σ |p − q|`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths must match");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Hellinger distance `√(1 − Σ √(p·q))` (clamped for numerical safety).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn hellinger(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths must match");
+    let bc: f64 = p.iter().zip(q).map(|(a, b)| (a * b).sqrt()).sum();
+    (1.0 - bc).max(0.0).sqrt()
+}
+
+/// Probability the counts reproduce the single correct bitstring — the
+/// Hidden Shift metric (error rate is `1 −` this).
+pub fn success_probability(counts: &Counts, target: u64) -> f64 {
+    counts.success_fraction(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    #[test]
+    fn cross_entropy_of_self_is_entropy() {
+        let p = vec![0.5, 0.25, 0.25, 0.0];
+        assert!((cross_entropy(&p, &p, 1e-12) - entropy(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_penalizes_mismatch() {
+        let p = vec![1.0, 0.0];
+        let close = vec![0.9, 0.1];
+        let far = vec![0.1, 0.9];
+        assert!(cross_entropy(&p, &close, 1e-9) < cross_entropy(&p, &far, 1e-9));
+    }
+
+    #[test]
+    fn entropy_of_uniform() {
+        let h = entropy(&uniform(4));
+        assert!((h - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_zero_on_match() {
+        let p = vec![0.5, 0.5];
+        let mut counts = Counts::new(1);
+        for _ in 0..500 {
+            counts.record(0);
+            counts.record(1);
+        }
+        let loss = cross_entropy_loss(&p, &counts);
+        assert!(loss >= 0.0 && loss < 1e-9, "loss {loss}");
+    }
+
+    #[test]
+    fn tvd_bounds() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert_eq!(total_variation(&p, &q), 1.0);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert!((hellinger(&p, &q) - 1.0).abs() < 1e-12);
+        assert!(hellinger(&p, &p) < 1e-9);
+        assert!(hellinger(&p, &uniform(2)) > 0.0);
+    }
+
+    #[test]
+    fn success_probability_reads_counts() {
+        let mut c = Counts::new(2);
+        c.record(0b10);
+        c.record(0b10);
+        c.record(0b01);
+        assert!((success_probability(&c, 0b10) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_rejected() {
+        cross_entropy(&[1.0], &[0.5, 0.5], 1e-9);
+    }
+}

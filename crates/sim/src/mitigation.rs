@@ -1,0 +1,214 @@
+//! Readout-error mitigation (the paper applies Qiskit Ignis's
+//! calibration-matrix method to every measured result, Section 8.4).
+
+use crate::{Counts, Executor, ExecutorConfig};
+use xtalk_device::Device;
+use xtalk_ir::Circuit;
+
+/// A measured readout calibration matrix over `k` classical bits:
+/// `m[observed][prepared]` is the probability of reading `observed` when
+/// `prepared` was the true state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CalibrationMatrix {
+    k: usize,
+    m: Vec<Vec<f64>>,
+}
+
+impl CalibrationMatrix {
+    /// Measures the calibration matrix of `qubits` on `device` by
+    /// preparing each of the `2^k` basis states and reading it out —
+    /// exactly the Ignis calibration procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len() > 10` (the matrix would be huge) or if a
+    /// qubit index repeats.
+#[allow(clippy::needless_range_loop)]
+    pub fn measure(device: &Device, qubits: &[u32], shots: u64, seed: u64) -> Self {
+        let k = qubits.len();
+        assert!(k <= 10, "calibration over {k} qubits is impractical");
+        let n = device.topology().num_qubits();
+        let mut m = vec![vec![0.0; 1 << k]; 1 << k];
+        for prepared in 0..(1usize << k) {
+            let mut c = Circuit::new(n, k);
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (prepared >> bit) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            for (bit, &q) in qubits.iter().enumerate() {
+                c.measure(q, bit as u32);
+            }
+            let sched = Executor::asap_schedule(&c, device.calibration());
+            let cfg = ExecutorConfig { shots, seed: seed ^ prepared as u64, ..Default::default() };
+            let counts = Executor::with_config(device, cfg).run(&sched);
+            for (outcome, count) in counts.iter() {
+                m[outcome as usize][prepared] += count as f64 / shots as f64;
+            }
+        }
+        CalibrationMatrix { k, m }
+    }
+
+    /// Builds the ideal tensor-product matrix from per-qubit symmetric
+    /// flip probabilities (useful when a measured matrix is overkill).
+    pub fn from_flip_probabilities(flips: &[f64]) -> Self {
+        let k = flips.len();
+        let mut m = vec![vec![0.0; 1 << k]; 1 << k];
+        for (obs, row) in m.iter_mut().enumerate() {
+            for (prep, cell) in row.iter_mut().enumerate() {
+                let mut p = 1.0;
+                for (bit, &f) in flips.iter().enumerate() {
+                    let flipped = ((obs >> bit) ^ (prep >> bit)) & 1 == 1;
+                    p *= if flipped { f } else { 1.0 - f };
+                }
+                *cell = p;
+            }
+        }
+        CalibrationMatrix { k, m }
+    }
+
+    /// Number of classical bits covered.
+    pub fn num_bits(&self) -> usize {
+        self.k
+    }
+
+    /// Matrix entry `P(observed | prepared)`.
+    pub fn entry(&self, observed: usize, prepared: usize) -> f64 {
+        self.m[observed][prepared]
+    }
+
+    /// Applies mitigation: solves `M · x = observed` for the underlying
+    /// distribution `x`, clips negatives and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts' bit width disagrees with the matrix or the
+    /// matrix is singular (cannot happen for physical readout errors
+    /// < 50 %).
+    pub fn mitigate(&self, counts: &Counts) -> Vec<f64> {
+        assert_eq!(counts.num_bits(), self.k, "bit width mismatch");
+        let observed = counts.distribution();
+        let x = solve(&self.m, &observed);
+        let mut x: Vec<f64> = x.into_iter().map(|v| v.max(0.0)).collect();
+        let s: f64 = x.iter().sum();
+        assert!(s > 0.0, "mitigation produced an empty distribution");
+        for v in &mut x {
+            *v /= s;
+        }
+        x
+    }
+}
+
+/// Solves the dense linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Panics
+///
+/// Panics if the matrix is numerically singular.
+#[allow(clippy::needless_range_loop)]
+fn solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut x: Vec<f64> = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .expect("nonempty column");
+        assert!(m[pivot][col].abs() > 1e-12, "singular calibration matrix");
+        m.swap(col, pivot);
+        x.swap(col, pivot);
+        let d = m[col][col];
+        for j in col..n {
+            m[col][j] /= d;
+        }
+        x[col] /= d;
+        for i in 0..n {
+            if i != col && m[i][col] != 0.0 {
+                let f = m[i][col];
+                for j in col..n {
+                    m[i][j] -= f * m[col][j];
+                }
+                x[i] -= f * x[col];
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_device::Device;
+
+    #[test]
+    fn tensor_matrix_columns_sum_to_one() {
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.05, 0.1]);
+        for prep in 0..4 {
+            let s: f64 = (0..4).map(|obs| m.entry(obs, prep)).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Diagonal dominates.
+        assert!((m.entry(0, 0) - 0.95 * 0.9).abs() < 1e-12);
+        assert!((m.entry(3, 0) - 0.05 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mitigation_recovers_clean_distribution() {
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.08, 0.08]);
+        // True distribution: Bell-like 50/50 on 00 and 11, corrupted by
+        // the known flips.
+        let truth = [0.5, 0.0, 0.0, 0.5];
+        let mut corrupted = Counts::new(2);
+        let shots = 200_000u64;
+        for obs in 0..4usize {
+            let p: f64 = (0..4).map(|prep| m.entry(obs, prep) * truth[prep]).sum();
+            corrupted.record_many(obs as u64, (p * shots as f64).round() as u64);
+        }
+        let mitigated = m.mitigate(&corrupted);
+        for (got, want) in mitigated.iter().zip(truth) {
+            assert!((got - want).abs() < 0.01, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn measured_matrix_close_to_readout_errors() {
+        let device = Device::line(2, 11);
+        let m = CalibrationMatrix::measure(&device, &[0, 1], 4000, 3);
+        let e0 = device.calibration().readout_error(0);
+        // P(observe 01 | prepared 00) ≈ e0 (flip on bit 0 only).
+        let expected = e0 * (1.0 - device.calibration().readout_error(1));
+        assert!(
+            (m.entry(0b01, 0b00) - expected).abs() < 0.03,
+            "entry {} vs {}",
+            m.entry(0b01, 0b00),
+            expected
+        );
+    }
+
+    #[test]
+    fn end_to_end_mitigation_improves_fidelity() {
+        let device = Device::line(2, 5);
+        let mut bell = Circuit::new(2, 2);
+        bell.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let sched = Executor::asap_schedule(&bell, device.calibration());
+        let cfg = ExecutorConfig { shots: 8192, seed: 9, ..Default::default() };
+        let counts = Executor::with_config(&device, cfg).run(&sched);
+        let m = CalibrationMatrix::measure(&device, &[0, 1], 8192, 10);
+        let raw = counts.distribution();
+        let fixed = m.mitigate(&counts);
+        let raw_good = raw[0] + raw[3];
+        let fixed_good = fixed[0] + fixed[3];
+        assert!(
+            fixed_good > raw_good,
+            "mitigation should increase Bell weight: raw {raw_good} fixed {fixed_good}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width mismatch")]
+    fn width_mismatch_rejected() {
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.1]);
+        m.mitigate(&Counts::new(2));
+    }
+}

@@ -1,0 +1,262 @@
+//! Two-qubit state tomography (the paper's SWAP-circuit metric,
+//! Section 8.4: Bell-state fidelity from 9 measurement bases × 1024
+//! trials, giving an error rate in `[0, 1]`).
+
+use crate::matrix::{single_qubit_matrix, Mat2, Mat4};
+use crate::C64;
+use xtalk_ir::{Circuit, Gate, Qubit};
+
+/// The nine two-qubit measurement settings `{X,Y,Z}²`; the first letter
+/// is the basis of the lower-indexed classical bit.
+pub fn settings() -> [(char, char); 9] {
+    [
+        ('Z', 'Z'), ('Z', 'X'), ('Z', 'Y'),
+        ('X', 'Z'), ('X', 'X'), ('X', 'Y'),
+        ('Y', 'Z'), ('Y', 'X'), ('Y', 'Y'),
+    ]
+}
+
+/// Appends the pre-measurement rotation mapping `basis` onto Z: nothing
+/// for `Z`, `H` for `X`, `S†;H` for `Y`.
+///
+/// # Panics
+///
+/// Panics on an unknown basis letter.
+pub fn append_basis_change(c: &mut Circuit, q: Qubit, basis: char) {
+    match basis {
+        'Z' => {}
+        'X' => {
+            c.h(q);
+        }
+        'Y' => {
+            c.sdg(q).h(q);
+        }
+        other => panic!("unknown measurement basis `{other}`"),
+    }
+}
+
+/// Builds the nine tomography circuits for the state prepared by `prep`
+/// on qubits `(qa, qb)`: each clone of `prep` gets basis rotations and
+/// measurements of `qa → clbit 0`, `qb → clbit 1`.
+///
+/// # Panics
+///
+/// Panics if `prep` contains measurements or fewer than 2 clbits.
+pub fn tomography_circuits(prep: &Circuit, qa: Qubit, qb: Qubit) -> Vec<((char, char), Circuit)> {
+    assert!(prep.count_gate("measure") == 0, "prep circuit must not measure");
+    assert!(prep.num_clbits() >= 2, "prep circuit needs at least 2 clbits");
+    settings()
+        .into_iter()
+        .map(|(ba, bb)| {
+            let mut c = prep.clone();
+            append_basis_change(&mut c, qa, ba);
+            append_basis_change(&mut c, qb, bb);
+            c.measure(qa, 0).measure(qb, 1);
+            ((ba, bb), c)
+        })
+        .collect()
+}
+
+/// Pauli expectation values `⟨σ_p ⊗ σ_q⟩` (indices over `I,X,Y,Z`; first
+/// index = clbit 0's qubit) estimated from per-setting outcome
+/// distributions (dense length-4, bit 0 = clbit 0).
+///
+/// # Panics
+///
+/// Panics if any of the nine settings is missing or a distribution has
+/// the wrong length.
+pub fn expectations_from_distributions(
+    data: &[((char, char), Vec<f64>)],
+) -> [[f64; 4]; 4] {
+    let idx = |b: char| match b {
+        'X' => 1usize,
+        'Y' => 2,
+        'Z' => 3,
+        other => panic!("unknown basis `{other}`"),
+    };
+    let mut joint = [[f64::NAN; 4]; 4];
+    let mut marg_a_sum = [0.0f64; 4];
+    let mut marg_a_n = [0u32; 4];
+    let mut marg_b_sum = [0.0f64; 4];
+    let mut marg_b_n = [0u32; 4];
+
+    for ((ba, bb), dist) in data {
+        assert_eq!(dist.len(), 4, "two-qubit distribution must have 4 entries");
+        let (ia, ib) = (idx(*ba), idx(*bb));
+        let mut e_joint = 0.0;
+        let mut e_a = 0.0;
+        let mut e_b = 0.0;
+        for (o, &p) in dist.iter().enumerate() {
+            let sa = if o & 1 == 0 { 1.0 } else { -1.0 };
+            let sb = if o & 2 == 0 { 1.0 } else { -1.0 };
+            e_joint += p * sa * sb;
+            e_a += p * sa;
+            e_b += p * sb;
+        }
+        joint[ia][ib] = e_joint;
+        marg_a_sum[ia] += e_a;
+        marg_a_n[ia] += 1;
+        marg_b_sum[ib] += e_b;
+        marg_b_n[ib] += 1;
+    }
+
+    let mut e = [[0.0f64; 4]; 4];
+    e[0][0] = 1.0;
+    for p in 1..4 {
+        assert!(marg_a_n[p] > 0, "missing settings for first-qubit basis {p}");
+        e[p][0] = marg_a_sum[p] / marg_a_n[p] as f64;
+        assert!(marg_b_n[p] > 0, "missing settings for second-qubit basis {p}");
+        e[0][p] = marg_b_sum[p] / marg_b_n[p] as f64;
+        for q in 1..4 {
+            assert!(!joint[p][q].is_nan(), "missing setting ({p},{q})");
+            e[p][q] = joint[p][q];
+        }
+    }
+    e
+}
+
+/// A reconstructed two-qubit density matrix (linear inversion):
+/// `ρ = ¼ Σ_{p,q} ⟨σ_p⊗σ_q⟩ σ_p⊗σ_q`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DensityMatrix2(pub [[C64; 4]; 4]);
+
+impl DensityMatrix2 {
+    /// Builds from Pauli expectations.
+    pub fn from_expectations(e: &[[f64; 4]; 4]) -> Self {
+        let paulis: [Mat2; 4] = [
+            Mat2::identity(),
+            single_qubit_matrix(&Gate::X),
+            single_qubit_matrix(&Gate::Y),
+            single_qubit_matrix(&Gate::Z),
+        ];
+        let mut rho = [[C64::ZERO; 4]; 4];
+        for p in 0..4 {
+            for q in 0..4 {
+                let m = Mat4::kron(&paulis[p], &paulis[q]);
+                for (i, row) in rho.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell += m.0[i][j].scale(e[p][q] * 0.25);
+                    }
+                }
+            }
+        }
+        DensityMatrix2(rho)
+    }
+
+    /// Trace (should be ≈ 1).
+    pub fn trace(&self) -> C64 {
+        let mut t = C64::ZERO;
+        for i in 0..4 {
+            t += self.0[i][i];
+        }
+        t
+    }
+
+    /// Purity `Tr(ρ²)` (1 for pure states, ¼ for the maximally mixed).
+    pub fn purity(&self) -> f64 {
+        let mut p = C64::ZERO;
+        for i in 0..4 {
+            for k in 0..4 {
+                p += self.0[i][k] * self.0[k][i];
+            }
+        }
+        p.re
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` with a pure target state.
+    pub fn fidelity_with(&self, psi: &[C64; 4]) -> f64 {
+        let mut f = C64::ZERO;
+        for i in 0..4 {
+            for j in 0..4 {
+                f += psi[i].conj() * self.0[i][j] * psi[j];
+            }
+        }
+        f.re
+    }
+}
+
+/// The Bell state `|Φ+⟩ = (|00⟩+|11⟩)/√2` in the little-endian 2-qubit
+/// basis.
+pub fn bell_phi_plus() -> [C64; 4] {
+    let r = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    [r, C64::ZERO, C64::ZERO, r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal;
+
+    /// Exact tomography of the circuit's output using ideal distributions.
+    fn exact_tomography(prep: &Circuit) -> DensityMatrix2 {
+        let circuits = tomography_circuits(prep, Qubit::new(0), Qubit::new(1));
+        let data: Vec<((char, char), Vec<f64>)> = circuits
+            .into_iter()
+            .map(|(s, c)| (s, ideal::distribution(&c)))
+            .collect();
+        DensityMatrix2::from_expectations(&expectations_from_distributions(&data))
+    }
+
+    #[test]
+    fn bell_state_reconstructs_perfectly() {
+        let mut prep = Circuit::new(2, 2);
+        prep.h(0).cx(0, 1);
+        let rho = exact_tomography(&prep);
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.trace().im.abs() < 1e-9);
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+        assert!((rho.fidelity_with(&bell_phi_plus()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_state_fidelity_with_bell_is_half() {
+        let prep = Circuit::new(2, 2);
+        let rho = exact_tomography(&prep);
+        assert!((rho.fidelity_with(&bell_phi_plus()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_state_expectations() {
+        // |+⟩ ⊗ |1⟩: ⟨X⊗I⟩ = 1, ⟨I⊗Z⟩ = −1, ⟨X⊗Z⟩ = −1.
+        let mut prep = Circuit::new(2, 2);
+        prep.h(0).x(1);
+        let circuits = tomography_circuits(&prep, Qubit::new(0), Qubit::new(1));
+        let data: Vec<_> = circuits
+            .into_iter()
+            .map(|(s, c)| (s, ideal::distribution(&c)))
+            .collect();
+        let e = expectations_from_distributions(&data);
+        assert!((e[1][0] - 1.0).abs() < 1e-9, "⟨X⊗I⟩ {}", e[1][0]);
+        assert!((e[0][3] + 1.0).abs() < 1e-9, "⟨I⊗Z⟩ {}", e[0][3]);
+        assert!((e[1][3] + 1.0).abs() < 1e-9, "⟨X⊗Z⟩ {}", e[1][3]);
+        assert!(e[3][0].abs() < 1e-9, "⟨Z⊗I⟩ {}", e[3][0]);
+    }
+
+    #[test]
+    fn nine_settings_generated() {
+        let mut prep = Circuit::new(2, 2);
+        prep.h(0);
+        let cs = tomography_circuits(&prep, Qubit::new(0), Qubit::new(1));
+        assert_eq!(cs.len(), 9);
+        for (_, c) in &cs {
+            assert_eq!(c.count_gate("measure"), 2);
+        }
+    }
+
+    #[test]
+    fn maximally_mixed_from_uniform_expectations() {
+        let mut e = [[0.0; 4]; 4];
+        e[0][0] = 1.0;
+        let rho = DensityMatrix2::from_expectations(&e);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        assert!((rho.fidelity_with(&bell_phi_plus()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not measure")]
+    fn measured_prep_rejected() {
+        let mut prep = Circuit::new(2, 2);
+        prep.measure(0, 0);
+        tomography_circuits(&prep, Qubit::new(0), Qubit::new(1));
+    }
+}

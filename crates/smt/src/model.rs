@@ -1,0 +1,171 @@
+//! Problem description: variables and constraints.
+
+use crate::dl::DiffConstraint;
+
+/// A real-valued variable (interpreted over non-negative integers — gate
+/// start times in nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RealVar(pub(crate) usize);
+
+impl RealVar {
+    /// The variable's index in solution vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A boolean decision variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BoolVar(pub(crate) usize);
+
+impl BoolVar {
+    /// The variable's index in solution vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A constraint system in the solver's fragment: difference constraints,
+/// guarded difference constraints, and simple boolean structure.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) n_real: usize,
+    pub(crate) n_bool: usize,
+    pub(crate) hard: Vec<DiffConstraint>,
+    pub(crate) guarded: Vec<(BoolVar, DiffConstraint)>,
+    pub(crate) at_most_one: Vec<Vec<BoolVar>>,
+    pub(crate) conflicts: Vec<(BoolVar, BoolVar)>,
+    pub(crate) implications: Vec<(BoolVar, BoolVar)>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a fresh real variable (implicitly `≥ 0`).
+    pub fn real_var(&mut self) -> RealVar {
+        self.n_real += 1;
+        RealVar(self.n_real - 1)
+    }
+
+    /// Adds a fresh boolean variable.
+    pub fn bool_var(&mut self) -> BoolVar {
+        self.n_bool += 1;
+        BoolVar(self.n_bool - 1)
+    }
+
+    /// Number of real variables.
+    pub fn num_real(&self) -> usize {
+        self.n_real
+    }
+
+    /// Number of boolean variables.
+    pub fn num_bool(&self) -> usize {
+        self.n_bool
+    }
+
+    /// The constraint `x − y ≥ c` (builder; add with [`Model::require`]
+    /// or [`Model::guard`]).
+    pub fn ge_diff(&self, x: RealVar, y: RealVar, c: i64) -> DiffConstraint {
+        DiffConstraint { x, y: Some(y), c }
+    }
+
+    /// The constraint `x ≥ c`.
+    pub fn ge_const(&self, x: RealVar, c: i64) -> DiffConstraint {
+        DiffConstraint { x, y: None, c }
+    }
+
+    /// Adds an unconditional constraint.
+    pub fn require(&mut self, c: DiffConstraint) {
+        self.validate(&c);
+        self.hard.push(c);
+    }
+
+    /// Adds a constraint active only when `guard` is assigned true.
+    pub fn guard(&mut self, guard: BoolVar, c: DiffConstraint) {
+        self.validate(&c);
+        assert!(guard.0 < self.n_bool, "unknown bool var");
+        self.guarded.push((guard, c));
+    }
+
+    /// At most one of `vars` may be true.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown or duplicate variables.
+    pub fn at_most_one(&mut self, vars: Vec<BoolVar>) {
+        for (i, v) in vars.iter().enumerate() {
+            assert!(v.0 < self.n_bool, "unknown bool var");
+            assert!(!vars[i + 1..].contains(v), "duplicate var in at-most-one");
+        }
+        self.at_most_one.push(vars);
+    }
+
+    /// `¬a ∨ ¬b`: the two decisions cannot both hold.
+    pub fn conflict(&mut self, a: BoolVar, b: BoolVar) {
+        assert!(a.0 < self.n_bool && b.0 < self.n_bool, "unknown bool var");
+        assert_ne!(a, b, "conflict needs two distinct vars");
+        self.conflicts.push((a, b));
+    }
+
+    /// `a ⇒ b`.
+    pub fn implies(&mut self, a: BoolVar, b: BoolVar) {
+        assert!(a.0 < self.n_bool && b.0 < self.n_bool, "unknown bool var");
+        self.implications.push((a, b));
+    }
+
+    fn validate(&self, c: &DiffConstraint) {
+        assert!(c.x.0 < self.n_real, "unknown real var");
+        if let Some(y) = c.y {
+            assert!(y.0 < self.n_real, "unknown real var");
+            assert_ne!(y, c.x, "difference constraint needs distinct vars");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_allocation() {
+        let mut m = Model::new();
+        let a = m.real_var();
+        let b = m.real_var();
+        let p = m.bool_var();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(p.index(), 0);
+        assert_eq!(m.num_real(), 2);
+        assert_eq!(m.num_bool(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown real var")]
+    fn foreign_var_rejected() {
+        let mut m = Model::new();
+        let mut other = Model::new();
+        let x = other.real_var();
+        m.require(DiffConstraint { x, y: None, c: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct vars")]
+    fn self_difference_rejected() {
+        let mut m = Model::new();
+        let x = m.real_var();
+        m.require(m.ge_diff(x, x, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate var")]
+    fn duplicate_amo_rejected() {
+        let mut m = Model::new();
+        let p = m.bool_var();
+        m.at_most_one(vec![p, p]);
+    }
+}

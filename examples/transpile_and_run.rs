@@ -1,0 +1,76 @@
+//! The full compiler pipeline on an abstract (unmapped) program: lower to
+//! the native gate set, place and route onto the device, schedule with
+//! each algorithm, and execute — the complete Figure-2 toolflow of the
+//! paper.
+//!
+//! ```text
+//! cargo run --release --example transpile_and_run
+//! ```
+
+use crosstalk_mitigation::core::layout::route_with_greedy_layout;
+use crosstalk_mitigation::core::pipeline::run_scheduled;
+use crosstalk_mitigation::core::transpile::lower_to_native;
+use crosstalk_mitigation::core::{
+    ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
+};
+use crosstalk_mitigation::device::Device;
+use crosstalk_mitigation::ir::Circuit;
+use crosstalk_mitigation::sim::{ideal, metrics};
+
+fn main() {
+    let device = Device::poughkeepsie(7);
+    let ctx = SchedulerContext::from_ground_truth(&device);
+
+    // An abstract 6-qubit program with all-to-all-ish interactions: a GHZ
+    // ladder plus long-range CNOTs that force routing.
+    let mut program = Circuit::new(6, 6);
+    program.h(0);
+    for q in 0..5u32 {
+        program.cx(q, q + 1);
+    }
+    program.cx(0, 5).cz(1, 4).t(2).swap(2, 3);
+    program.measure_all();
+
+    println!("abstract program: {} instructions, depth {}", program.len(), program.depth());
+
+    // 1. Lower to the IBMQ native basis.
+    let native = lower_to_native(&program);
+    println!(
+        "lowered: {} instructions ({} CNOTs)",
+        native.len(),
+        native.count_gate("cx")
+    );
+
+    // 2. Place and route onto the 20-qubit device.
+    let routed = route_with_greedy_layout(&native, device.topology()).expect("device connected");
+    println!(
+        "routed: {} instructions, {} SWAPs inserted, initial layout {:?}",
+        routed.circuit.len(),
+        routed.swaps_inserted,
+        routed.initial_layout.mapping()
+    );
+
+    // 3. Schedule and execute with each algorithm; score against the
+    //    ideal distribution of the abstract program (routing preserves
+    //    the classical-bit semantics, so the reference is unchanged).
+    let reference = ideal::distribution(&program);
+    println!("\n{:<14} {:>10} {:>16} {:>14}", "scheduler", "TVD", "cross entropy", "makespan (ns)");
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SerialSched::new()),
+        Box::new(ParSched::new()),
+        Box::new(XtalkSched::new(0.5)),
+    ];
+    for sched in &schedulers {
+        let s = sched.schedule(&routed.circuit, &ctx).expect("compliant after routing");
+        let counts = run_scheduled(&device, &s, 4096, 11);
+        let dist = counts.distribution();
+        let tvd = metrics::total_variation(&reference, &dist);
+        let ce = metrics::cross_entropy(&reference, &dist, 0.5 / 4096.0);
+        println!("{:<14} {:>10.4} {:>16.4} {:>14}", sched.name(), tvd, ce, s.makespan());
+    }
+
+    println!(
+        "\nEvery stage is independent: swap the router, re-characterize, or\n\
+         sweep omega without touching the rest of the pipeline."
+    );
+}

@@ -1,0 +1,299 @@
+//! `xtalk` — command-line front end to the crosstalk-mitigation toolchain.
+//!
+//! ```text
+//! xtalk devices
+//! xtalk characterize --device poughkeepsie [--policy all|onehop|binpacked] [--seqs N] [--shots N]
+//! xtalk schedule <input.qasm> --device poughkeepsie [--scheduler xtalk|par|serial] [--omega W] [-o out.qasm]
+//! xtalk run <input.qasm> --device poughkeepsie [--scheduler ...] [--shots N]
+//! xtalk swap-demo --device poughkeepsie --from 0 --to 13
+//! ```
+//!
+//! Circuits are read and written as OpenQASM 2.0. Non-hardware-compliant
+//! inputs are automatically placed and routed (greedy layout + shortest
+//! path SWAP insertion) before scheduling.
+
+use crosstalk_mitigation::charac::policy::TimeModel;
+use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
+use crosstalk_mitigation::core::layout::route_with_greedy_layout;
+use crosstalk_mitigation::core::optimize::fuse_single_qubit_gates;
+use crosstalk_mitigation::core::pipeline::{run_scheduled, swap_bell_error};
+use crosstalk_mitigation::core::sched::check_hardware_compliant;
+use crosstalk_mitigation::core::transpile::lower_to_native;
+use crosstalk_mitigation::core::{
+    to_barriered_circuit, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
+};
+use crosstalk_mitigation::device::Device;
+use crosstalk_mitigation::ir::{qasm, Circuit};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "devices" => cmd_devices(),
+        "characterize" => cmd_characterize(rest),
+        "schedule" => cmd_schedule(rest),
+        "run" => cmd_run(rest),
+        "swap-demo" => cmd_swap_demo(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtalk — crosstalk characterization and adaptive scheduling (ASPLOS'20 reproduction)
+
+USAGE:
+    xtalk devices
+    xtalk characterize --device <name> [--policy all|onehop|binpacked] [--seqs N] [--shots N] [--seed N]
+    xtalk schedule <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [-o <out.qasm>]
+    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N]
+    xtalk swap-demo --device <name> --from A --to B [--shots N]
+
+DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else if a == "-o" {
+                let value = it.next().ok_or("-o needs a path")?;
+                pairs.push(("out".to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn device_from(flags: &Flags) -> Result<Device, String> {
+    let seed = flags.get_parse("seed", 7u64)?;
+    match flags.get("device").unwrap_or("poughkeepsie") {
+        "poughkeepsie" => Ok(Device::poughkeepsie(seed)),
+        "johannesburg" => Ok(Device::johannesburg(seed)),
+        "boeblingen" => Ok(Device::boeblingen(seed)),
+        other => Err(format!("unknown device `{other}` (try `xtalk devices`)")),
+    }
+}
+
+fn scheduler_from(flags: &Flags) -> Result<Box<dyn Scheduler>, String> {
+    let omega = flags.get_parse("omega", 0.5f64)?;
+    if !(0.0..=1.0).contains(&omega) {
+        return Err(format!("--omega must be in [0,1], got {omega}"));
+    }
+    Ok(match flags.get("scheduler").unwrap_or("xtalk") {
+        "xtalk" => Box::new(XtalkSched::new(omega)),
+        "par" => Box::new(ParSched::new()),
+        "serial" => Box::new(SerialSched::new()),
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+fn cmd_devices() -> Result<(), String> {
+    for device in Device::all_ibmq(7) {
+        println!("{device}");
+        let high = device.crosstalk().high_unordered_pairs(3.0);
+        println!("  high-crosstalk pairs (ground truth):");
+        for (a, b) in high {
+            println!(
+                "    {a} | {b}  ({:.1}x / {:.1}x)",
+                device.crosstalk().factor(a, b),
+                device.crosstalk().factor(b, a)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let device = device_from(&flags)?;
+    let config = RbConfig {
+        seqs_per_length: flags.get_parse("seqs", 5usize)?,
+        shots: flags.get_parse("shots", 192u64)?,
+        seed: flags.get_parse("seed", 7u64)?,
+        ..Default::default()
+    };
+    let policy = match flags.get("policy").unwrap_or("binpacked") {
+        "all" => CharacterizationPolicy::AllPairs,
+        "onehop" => CharacterizationPolicy::OneHop,
+        "binpacked" => CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    println!("characterizing {} with policy `{}`…", device.name(), policy.name());
+    let (charac, report) = characterize(&device, &policy, &config, &TimeModel::default());
+    println!(
+        "{} experiments over {} pairs ({} executions; {:.2} h at this scale)",
+        report.num_experiments, report.num_pairs, report.executions, report.machine_time_hours
+    );
+    println!("detected high-crosstalk pairs (>3x):");
+    for (a, b) in charac.high_pairs(3.0) {
+        let ia = charac.independent(a);
+        let cab = charac.conditional(a, b).unwrap_or(ia);
+        println!("  {a} | {b}: E({a})={ia:.4}, E({a}|{b})={cab:.4}");
+    }
+    Ok(())
+}
+
+fn load_and_prepare(
+    path: &str,
+    device: &Device,
+    ctx: &SchedulerContext,
+) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let circuit = qasm::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let native = fuse_single_qubit_gates(&lower_to_native(&circuit));
+    if native.num_qubits() > device.topology().num_qubits() {
+        return Err(format!(
+            "circuit uses {} qubits but {} has {}",
+            native.num_qubits(),
+            device.name(),
+            device.topology().num_qubits()
+        ));
+    }
+    if check_hardware_compliant(&native, ctx).is_ok()
+        && native.num_qubits() == device.topology().num_qubits()
+    {
+        return Ok(native);
+    }
+    // Pad to the device width, then place & route.
+    let mut padded = Circuit::new(device.topology().num_qubits(), native.num_clbits());
+    padded.try_extend(&native).map_err(|e| e.to_string())?;
+    let routed = route_with_greedy_layout(&padded, device.topology())
+        .map_err(|e| format!("routing failed: {e}"))?;
+    println!(
+        "(routed: {} SWAPs inserted, layout {:?})",
+        routed.swaps_inserted,
+        routed.initial_layout.mapping()
+    );
+    Ok(routed.circuit)
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags.positional.first().ok_or("schedule needs an input .qasm file")?;
+    let device = device_from(&flags)?;
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let circuit = load_and_prepare(path, &device, &ctx)?;
+    let omega = flags.get_parse("omega", 0.5f64)?;
+
+    match flags.get("scheduler").unwrap_or("xtalk") {
+        "xtalk" => {
+            let (sched, report) = XtalkSched::new(omega)
+                .schedule_with_report(&circuit, &ctx)
+                .map_err(|e| e.to_string())?;
+            println!("{sched}");
+            println!(
+                "candidates: {}, serializations: {:?}, objective {:.4}",
+                report.candidate_pairs, report.serializations, report.cost
+            );
+            if let Some(out) = flags.get("out") {
+                let barriered = to_barriered_circuit(&sched, &report.serializations);
+                std::fs::write(out, qasm::dump(&barriered)).map_err(|e| e.to_string())?;
+                println!("wrote barriered executable to {out}");
+            }
+        }
+        _ => {
+            let scheduler = scheduler_from(&flags)?;
+            let sched = scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
+            println!("{sched}");
+            if let Some(out) = flags.get("out") {
+                let barriered = to_barriered_circuit(&sched, &[]);
+                std::fs::write(out, qasm::dump(&barriered)).map_err(|e| e.to_string())?;
+                println!("wrote executable to {out}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags.positional.first().ok_or("run needs an input .qasm file")?;
+    let device = device_from(&flags)?;
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let circuit = load_and_prepare(path, &device, &ctx)?;
+    let scheduler = scheduler_from(&flags)?;
+    let shots = flags.get_parse("shots", 2048u64)?;
+    let seed = flags.get_parse("seed", 7u64)?;
+
+    let sched = scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
+    let counts = run_scheduled(&device, &sched, shots, seed);
+    println!(
+        "{} | scheduler {} | makespan {} ns | {shots} shots",
+        device.name(),
+        scheduler.name(),
+        sched.makespan()
+    );
+    let mut entries: Vec<(u64, u64)> = counts.iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (outcome, count) in entries.into_iter().take(16) {
+        println!(
+            "  {outcome:0width$b}: {count} ({:.3})",
+            count as f64 / shots as f64,
+            width = counts.num_bits()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_swap_demo(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let device = device_from(&flags)?;
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let from = flags.get_parse("from", 0u32)?;
+    let to = flags.get_parse("to", 13u32)?;
+    let shots = flags.get_parse("shots", 512u64)?;
+    println!("SWAP benchmark {from} <-> {to} on {}", device.name());
+    println!("{:<14} {:>12} {:>14}", "scheduler", "error rate", "duration (ns)");
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SerialSched::new()),
+        Box::new(ParSched::new()),
+        Box::new(XtalkSched::new(0.5)),
+    ];
+    for s in &schedulers {
+        let out = swap_bell_error(&device, &ctx, s.as_ref(), from, to, shots, 42)
+            .map_err(|e| e.to_string())?;
+        println!("{:<14} {:>12.4} {:>14}", s.name(), out.error_rate, out.duration_ns);
+    }
+    Ok(())
+}

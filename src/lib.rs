@@ -1,0 +1,44 @@
+//! # crosstalk-mitigation
+//!
+//! A reproduction of *"Software Mitigation of Crosstalk on Noisy
+//! Intermediate-Scale Quantum Computers"* (Murali, McKay, Martonosi,
+//! Javadi-Abhari — ASPLOS 2020) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`ir`] — circuit IR (gates, circuits, dependency DAGs, schedules).
+//! * [`device`] — hardware models of the three 20-qubit IBMQ systems
+//!   (topology, calibration, ground-truth crosstalk).
+//! * [`clifford`] — stabilizer formalism used by randomized benchmarking.
+//! * [`sim`] — noisy trajectory simulator standing in for real hardware.
+//! * [`smt`] — the optimizing constraint solver used by the scheduler.
+//! * [`charac`] — fast crosstalk characterization (paper Section 5).
+//! * [`core`] — the crosstalk-adaptive scheduler and baselines
+//!   (paper Sections 6–7).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crosstalk_mitigation::device::Device;
+//! use crosstalk_mitigation::core::{Scheduler, XtalkSched, SchedulerContext};
+//! use crosstalk_mitigation::core::routing::swap_circuit_between;
+//!
+//! // A 20-qubit IBMQ Poughkeepsie model with ground-truth crosstalk.
+//! let device = Device::poughkeepsie(7);
+//!
+//! // A SWAP program routing qubit 0 next to qubit 13.
+//! let circuit = swap_circuit_between(device.topology(), 0, 13).unwrap();
+//!
+//! // Schedule it with perfect characterization knowledge.
+//! let ctx = SchedulerContext::from_ground_truth(&device);
+//! let sched = XtalkSched::new(0.5).schedule(&circuit, &ctx).unwrap();
+//! assert!(sched.makespan() > 0);
+//! ```
+
+pub use xtalk_charac as charac;
+pub use xtalk_clifford as clifford;
+pub use xtalk_core as core;
+pub use xtalk_device as device;
+pub use xtalk_ir as ir;
+pub use xtalk_sim as sim;
+pub use xtalk_smt as smt;

@@ -1,0 +1,119 @@
+//! Integration tests of the characterization stack: policies, bin
+//! packing, SRB detection quality, and cost accounting across all three
+//! device models.
+
+use crosstalk_mitigation::charac::policy::TimeModel;
+use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
+use crosstalk_mitigation::device::Device;
+
+fn rb_config() -> RbConfig {
+    RbConfig { seqs_per_length: 4, shots: 128, seed: 11, ..Default::default() }
+}
+
+#[test]
+fn policies_form_a_strict_cost_hierarchy() {
+    for device in Device::all_ibmq(3) {
+        let topo = device.topology();
+        let known = device.crosstalk().high_unordered_pairs(3.0);
+        let all = CharacterizationPolicy::AllPairs.experiments(topo, 1).len();
+        let one = CharacterizationPolicy::OneHop.experiments(topo, 1).len();
+        let packed =
+            CharacterizationPolicy::OneHopBinPacked { k_hops: 2 }.experiments(topo, 1).len();
+        let high = CharacterizationPolicy::HighCrosstalkOnly { k_hops: 2, known_pairs: known }
+            .experiments(topo, 1)
+            .len();
+        assert!(all > one, "{}: {all} !> {one}", device.name());
+        assert!(one > packed, "{}: {one} !> {packed}", device.name());
+        assert!(packed > high, "{}: {packed} !> {high}", device.name());
+        // The paper's headline: 35-73x fewer experiments than all-pairs.
+        let reduction = all as f64 / high as f64;
+        assert!(reduction > 20.0, "{}: only {reduction:.0}x reduction", device.name());
+    }
+}
+
+#[test]
+fn paper_scale_time_budget_matches_figure_10() {
+    // All-pairs at paper scale is the "over 8 hours" budget; the full
+    // optimized flow fits in minutes.
+    let tm = TimeModel::default();
+    let full = RbConfig::paper_scale().executions();
+    let device = Device::johannesburg(3);
+    let all = CharacterizationPolicy::AllPairs.experiments(device.topology(), 1).len();
+    assert!(tm.hours(all, full) > 7.0);
+    let known = device.crosstalk().high_unordered_pairs(3.0);
+    let high = CharacterizationPolicy::HighCrosstalkOnly { k_hops: 2, known_pairs: known }
+        .experiments(device.topology(), 1)
+        .len();
+    assert!(tm.hours(high, full) < 0.25, "daily budget must be under 15 minutes");
+}
+
+#[test]
+fn one_hop_characterization_finds_planted_pairs_on_every_device() {
+    for device in Device::all_ibmq(7) {
+        let (charac, _) = characterize(
+            &device,
+            &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+            &rb_config(),
+            &TimeModel::default(),
+        );
+        let truth = device.crosstalk().high_unordered_pairs(3.0);
+        let found = charac.high_pairs(3.0);
+        let hits = truth.iter().filter(|p| found.contains(p)).count();
+        assert!(
+            hits * 10 >= truth.len() * 8,
+            "{}: recall {hits}/{} too low ({found:?})",
+            device.name(),
+            truth.len()
+        );
+    }
+}
+
+#[test]
+fn daily_recharacterization_tracks_drift() {
+    let base = Device::poughkeepsie(7);
+    let known = base.crosstalk().high_unordered_pairs(3.0);
+    let policy = CharacterizationPolicy::HighCrosstalkOnly { k_hops: 2, known_pairs: known };
+    let mut estimates = Vec::new();
+    for day in [0u32, 3] {
+        let device = base.on_day(day);
+        let (charac, report) = characterize(&device, &policy, &rb_config(), &TimeModel::default());
+        assert!(report.num_experiments <= 4);
+        let e = charac
+            .conditional(
+                crosstalk_mitigation::device::Edge::new(10, 15),
+                crosstalk_mitigation::device::Edge::new(11, 12),
+            )
+            .expect("tracked pair measured");
+        estimates.push(e);
+    }
+    // Drifted days give different (but same-ballpark) conditionals.
+    assert_ne!(estimates[0], estimates[1]);
+    let ratio = estimates[0].max(estimates[1]) / estimates[0].min(estimates[1]);
+    assert!(ratio < 4.0, "day-to-day ratio {ratio} too wild");
+}
+
+#[test]
+fn conditional_estimates_scale_with_planted_factor() {
+    // The measured conditional of the 11x pair exceeds that of a ~4.5x
+    // pair on the same device.
+    let device = Device::poughkeepsie(7);
+    let (charac, _) = characterize(
+        &device,
+        &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+        &rb_config(),
+        &TimeModel::default(),
+    );
+    let big = charac
+        .conditional(
+            crosstalk_mitigation::device::Edge::new(10, 15),
+            crosstalk_mitigation::device::Edge::new(11, 12),
+        )
+        .unwrap();
+    let small = charac
+        .conditional(
+            crosstalk_mitigation::device::Edge::new(5, 10),
+            crosstalk_mitigation::device::Edge::new(11, 12),
+        )
+        .unwrap();
+    assert!(big > small, "11x pair ({big}) should read above 4.5x pair ({small})");
+}

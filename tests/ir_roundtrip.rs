@@ -1,0 +1,205 @@
+//! Property-based tests of the IR layer: QASM round-trips, DAG
+//! consistency, and schedule-slot algebra on arbitrary circuits.
+
+use crosstalk_mitigation::ir::{qasm, Circuit, Gate, ScheduleSlot, ScheduledCircuit};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    H(u32),
+    X(u32),
+    S(u32),
+    Rz(f64, u32),
+    U3(f64, f64, f64, u32),
+    Cx(u32, u32),
+    Barrier(u32, u32),
+    Measure(u32, u32),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n).prop_map(Op::H),
+        (0..n).prop_map(Op::X),
+        (0..n).prop_map(Op::S),
+        ((-3.0..3.0f64), 0..n).prop_map(|(a, q)| Op::Rz(a, q)),
+        ((-3.0..3.0f64), (-3.0..3.0f64), (-3.0..3.0f64), 0..n)
+            .prop_map(|(t, p, l, q)| Op::U3(t, p, l, q)),
+        (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Op::Cx(a, b))),
+        (0..n, 0..n)
+            .prop_filter_map("distinct", |(a, b)| (a != b).then_some(Op::Barrier(a, b))),
+        (0..n, 0..n).prop_map(|(q, c)| Op::Measure(q, c)),
+    ]
+}
+
+fn circuit_strategy(n: u32) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(op_strategy(n), 0..30).prop_map(move |ops| {
+        let mut c = Circuit::new(n as usize, n as usize);
+        let mut measured = vec![false; n as usize];
+        for op in ops {
+            match op {
+                Op::H(q) => {
+                    c.h(q);
+                }
+                Op::X(q) => {
+                    c.x(q);
+                }
+                Op::S(q) => {
+                    c.s(q);
+                }
+                Op::Rz(a, q) => {
+                    c.rz(a, q);
+                }
+                Op::U3(t, p, l, q) => {
+                    c.u3(t, p, l, q);
+                }
+                Op::Cx(a, b) => {
+                    c.cx(a, b);
+                }
+                Op::Barrier(a, b) => {
+                    c.barrier([a, b]);
+                }
+                Op::Measure(q, clbit) => {
+                    if !measured[clbit as usize] {
+                        measured[clbit as usize] = true;
+                        c.measure(q, clbit);
+                    }
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn qasm_roundtrip(c in circuit_strategy(5)) {
+        let text = qasm::dump(&c);
+        let back = qasm::parse(&text).expect("dump output parses");
+        // Round-trip is exact except angles print at 12 decimals.
+        prop_assert_eq!(back.len(), c.len());
+        for (a, b) in back.iter().zip(c.iter()) {
+            prop_assert_eq!(a.qubits(), b.qubits());
+            prop_assert_eq!(a.gate().name(), b.gate().name());
+            for (x, y) in a.gate().params().iter().zip(b.gate().params()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_overlap_is_symmetric_and_antireflexive(c in circuit_strategy(5)) {
+        let dag = c.dag();
+        for i in 0..c.len() {
+            prop_assert!(!dag.can_overlap(i, i));
+            for j in 0..c.len() {
+                prop_assert_eq!(dag.can_overlap(i, j), dag.can_overlap(j, i));
+                // Dependency and overlap are mutually exclusive.
+                if dag.depends_on(i, j) {
+                    prop_assert!(!dag.can_overlap(i, j));
+                    prop_assert!(!dag.depends_on(j, i) || i == j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layers_partition_and_respect_dependencies(c in circuit_strategy(5)) {
+        let dag = c.dag();
+        let layers = dag.layers();
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, c.len());
+        // Every dependency crosses from a lower to a strictly higher layer.
+        let mut layer_of = vec![0usize; c.len()];
+        for (k, layer) in layers.iter().enumerate() {
+            for &i in layer {
+                layer_of[i] = k;
+            }
+        }
+        for j in 0..c.len() {
+            for &i in dag.predecessors(j) {
+                prop_assert!(layer_of[i] < layer_of[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_always_validates(c in circuit_strategy(4)) {
+        // Assign strictly sequential slots: always legal.
+        let mut t = 0u64;
+        let slots: Vec<ScheduleSlot> = c
+            .iter()
+            .map(|ins| {
+                let d = if ins.gate().is_virtual() { 0 } else { 100 };
+                let s = ScheduleSlot::new(t, d);
+                t += d.max(1);
+                s
+            })
+            .collect();
+        let sched = ScheduledCircuit::new(c, slots).unwrap();
+        prop_assert!(sched.validate().is_ok());
+        prop_assert!(sched.overlapping_two_qubit_pairs().is_empty());
+    }
+
+    #[test]
+    fn inverse_of_clifford_circuits_is_identity_depth(c in circuit_strategy(4)) {
+        // Restrict to invertible subset: drop measurements.
+        let mut u = Circuit::new(c.num_qubits(), c.num_clbits());
+        for ins in c.iter().filter(|i| !i.gate().is_measurement()) {
+            u.push(ins.clone());
+        }
+        let inv = u.inverse().expect("measurement-free circuits invert");
+        prop_assert_eq!(inv.len(), u.len());
+        // Inverting twice restores gate names in order.
+        let back = inv.inverse().unwrap();
+        let names: Vec<_> = back.iter().map(|i| i.gate().name()).collect();
+        let orig: Vec<_> = u.iter().map(|i| i.gate().name()).collect();
+        prop_assert_eq!(names, orig);
+    }
+
+    #[test]
+    fn depth_bounds(c in circuit_strategy(5)) {
+        let non_barrier = c.iter().filter(|i| !i.gate().is_barrier()).count();
+        let depth = c.depth();
+        prop_assert!(depth <= non_barrier);
+        if non_barrier > 0 {
+            prop_assert!(depth >= 1);
+            prop_assert!(depth >= non_barrier.div_ceil(c.num_qubits().max(1)));
+        }
+    }
+}
+
+#[test]
+fn gate_inverses_compose_to_identity_matrix() {
+    use crosstalk_mitigation::sim::StateVector;
+    // For every invertible 1q gate: U⁻¹ U |ψ⟩ = |ψ⟩ on a random state.
+    let gates = [
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::U1(0.37),
+        Gate::U2(0.9, -0.4),
+        Gate::U3(1.1, 0.2, -0.8),
+        Gate::Rx(0.5),
+        Gate::Ry(-1.2),
+        Gate::Rz(2.2),
+    ];
+    for g in gates {
+        let mut s = StateVector::new(1);
+        s.apply_gate(&Gate::U3(0.8, 0.1, 0.2), &[0]);
+        let reference = s.clone();
+        s.apply_gate(&g, &[0]);
+        s.apply_gate(&g.inverse().unwrap(), &[0]);
+        assert!(
+            s.fidelity(&reference) > 1.0 - 1e-9,
+            "{g} inverse is wrong: fidelity {}",
+            s.fidelity(&reference)
+        );
+    }
+}
