@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint. Run locally before pushing;
+# CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -2,11 +2,11 @@
 //! three systems (a–c) and program durations on Poughkeepsie (d).
 //!
 //! ```text
-//! cargo run -p xtalk-bench --release --bin fig5_swap [--full]
+//! cargo run -p xtalk-bench --release --bin fig5_swap [--full] [--threads N]
 //! ```
 
 use xtalk_bench::{affected_swap_pairs, devices, geomean, Scale};
-use xtalk_core::pipeline::swap_bell_error;
+use xtalk_core::pipeline::swap_bell_error_threads;
 use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
             let mut errs = Vec::new();
             let mut durs = Vec::new();
             for sched in &schedulers {
-                let out = swap_bell_error(
+                let out = swap_bell_error_threads(
                     &device,
                     &ctx,
                     sched.as_ref(),
@@ -44,6 +44,7 @@ fn main() {
                     b,
                     scale.tomo_shots,
                     scale.seed ^ (u64::from(a) << 8) ^ u64::from(b),
+                    scale.threads,
                 )
                 .expect("routing succeeds on connected devices");
                 errs.push(out.error_rate);

@@ -22,6 +22,9 @@ pub struct Scale {
     pub max_swap_pairs: Option<usize>,
     /// Base seed.
     pub seed: u64,
+    /// Executor threads for trajectory sampling (0 = available
+    /// parallelism); counts are bit-identical at any thread count.
+    pub threads: usize,
     /// Whether this is the paper-scale run.
     pub full: bool,
 }
@@ -35,6 +38,7 @@ impl Scale {
             rb: RbConfig { seqs_per_length: 5, shots: 192, ..Default::default() },
             max_swap_pairs: Some(8),
             seed: 7,
+            threads: 0,
             full: false,
         }
     }
@@ -47,17 +51,27 @@ impl Scale {
             rb: RbConfig::paper_scale(),
             max_swap_pairs: None,
             seed: 7,
+            threads: 0,
             full: true,
         }
     }
 
-    /// Reads the scale from the process arguments (`--full`).
+    /// Reads the scale from the process arguments (`--full`,
+    /// `--threads N`).
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--full") {
             Scale::full()
         } else {
             Scale::reduced()
+        };
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            scale.threads = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--threads needs a number"));
         }
+        scale
     }
 }
 

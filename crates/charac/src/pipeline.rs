@@ -54,12 +54,16 @@ impl Characterization {
     ///
     /// # Panics
     ///
-    /// Panics if `e` was never characterized.
+    /// Panics if `e` was never characterized; see
+    /// [`Characterization::try_independent`] for the fallible form.
     pub fn independent(&self, e: Edge) -> f64 {
-        *self
-            .independent
-            .get(&e)
-            .unwrap_or_else(|| panic!("no independent rate for {e}"))
+        self.try_independent(e).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Independent error rate `E(e)`, or an error if the edge was never
+    /// characterized.
+    pub fn try_independent(&self, e: Edge) -> Result<f64, CharacError> {
+        self.independent.get(&e).copied().ok_or(CharacError::Uncharacterized(e))
     }
 
     /// Conditional rate `E(of | given)`, if measured.
@@ -102,6 +106,23 @@ impl Characterization {
         self.conditional.iter().map(|(&k, &v)| (k, v))
     }
 }
+
+/// Failure looking up characterization data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CharacError {
+    /// The queried edge has no measured independent rate.
+    Uncharacterized(Edge),
+}
+
+impl std::fmt::Display for CharacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharacError::Uncharacterized(e) => write!(f, "no independent rate for {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CharacError {}
 
 /// Cost accounting of a characterization run.
 #[derive(Clone, PartialEq, Debug)]
@@ -250,5 +271,18 @@ mod tests {
     #[should_panic(expected = "no independent rate")]
     fn missing_edge_panics() {
         Characterization::new().independent(Edge::new(0, 1));
+    }
+
+    #[test]
+    fn try_independent_returns_typed_error() {
+        let mut c = Characterization::new();
+        let e = Edge::new(0, 1);
+        assert_eq!(c.try_independent(e), Err(CharacError::Uncharacterized(e)));
+        assert_eq!(
+            c.try_independent(e).unwrap_err().to_string(),
+            format!("no independent rate for {e}")
+        );
+        c.set_independent(e, 0.02);
+        assert_eq!(c.try_independent(e), Ok(0.02));
     }
 }

@@ -12,8 +12,21 @@ use xtalk_sim::{ideal, metrics, Counts, Executor, ExecutorConfig};
 
 /// Executes a schedule on a device with the given shot budget.
 pub fn run_scheduled(device: &Device, sched: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
+    run_scheduled_threads(device, sched, shots, seed, 1)
+}
+
+/// [`run_scheduled`] with the Monte-Carlo trials split across `threads`
+/// OS threads (`0` = all available parallelism). Bit-identical to the
+/// sequential form for a fixed seed.
+pub fn run_scheduled_threads(
+    device: &Device,
+    sched: &ScheduledCircuit,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Counts {
     let cfg = ExecutorConfig { shots, seed, ..Default::default() };
-    Executor::with_config(device, cfg).run(sched)
+    Executor::with_config(device, cfg).run_parallel(sched, threads)
 }
 
 /// The SWAP-circuit metric (Figures 5–7): schedules the meet-in-the-middle
@@ -41,6 +54,27 @@ pub fn swap_bell_error(
     shots_per_basis: u64,
     seed: u64,
 ) -> Result<SwapRunOutcome, CoreError> {
+    swap_bell_error_threads(device, ctx, scheduler, a, b, shots_per_basis, seed, 1)
+}
+
+/// [`swap_bell_error`] with the trajectory sampling of each tomography
+/// basis split across `threads` OS threads (`0` = available
+/// parallelism). Bit-identical to the sequential form.
+///
+/// # Errors
+///
+/// Propagates routing/scheduling failures.
+#[allow(clippy::too_many_arguments)]
+pub fn swap_bell_error_threads(
+    device: &Device,
+    ctx: &SchedulerContext,
+    scheduler: &dyn Scheduler,
+    a: u32,
+    b: u32,
+    shots_per_basis: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<SwapRunOutcome, CoreError> {
     let bench = crate::routing::swap_benchmark(device.topology(), a, b)?;
     let (qa, qb) = bench.bell_pair;
 
@@ -54,8 +88,13 @@ pub fn swap_bell_error(
     {
         let sched = scheduler.schedule(&circuit, ctx)?;
         duration = duration.max(sched.makespan());
-        let counts =
-            run_scheduled(device, &sched, shots_per_basis, seed ^ ((idx as u64 + 1) << 32));
+        let counts = run_scheduled_threads(
+            device,
+            &sched,
+            shots_per_basis,
+            seed ^ ((idx as u64 + 1) << 32),
+            threads,
+        );
         data.push((setting, cal_matrix.mitigate(&counts)));
     }
     let rho = DensityMatrix2::from_expectations(&expectations_from_distributions(&data));

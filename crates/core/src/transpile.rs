@@ -124,9 +124,11 @@ mod tests {
         ideal::final_state(a).fidelity(&ideal::final_state(b))
     }
 
+    type GateApplier = Box<dyn Fn(&mut Circuit)>;
+
     #[test]
     fn every_gate_lowers_equivalently() {
-        let gates: Vec<Box<dyn Fn(&mut Circuit)>> = vec![
+        let gates: Vec<GateApplier> = vec![
             Box::new(|c| {
                 c.x(0);
             }),

@@ -1,6 +1,6 @@
 //! Daily calibration data: gate errors, durations, coherence, readout.
 
-use crate::{Edge, Topology};
+use crate::{CalibrationError, Edge, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -13,7 +13,6 @@ use xtalk_ir::{Gate, Qubit};
 /// `u3` takes two pulses; CNOT durations are per-edge (see
 /// [`Calibration::cx_duration`]); a `swap` is three CNOTs.
 #[derive(Clone, Copy, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GateDurations {
     /// Duration of one single-qubit physical pulse (ns).
     pub sq_pulse_ns: u64,
@@ -79,7 +78,6 @@ impl Default for CalibrationProfile {
 /// assert!(cal.coherence_ns(1) > 0.0);
 /// ```
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Calibration {
     durations: GateDurations,
     cx_error: BTreeMap<Edge, f64>,
@@ -176,18 +174,32 @@ impl Calibration {
     ///
     /// # Panics
     ///
-    /// Panics if `e` is not a calibrated edge.
+    /// Panics if `e` is not a calibrated edge; see
+    /// [`Calibration::try_cx_error`] for the fallible form.
     pub fn cx_error(&self, e: Edge) -> f64 {
-        *self.cx_error.get(&e).unwrap_or_else(|| panic!("no calibration for edge {e}"))
+        self.try_cx_error(e).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Independent CNOT error rate `E(g)` for edge `e`, or an error if
+    /// the edge is not calibrated.
+    pub fn try_cx_error(&self, e: Edge) -> Result<f64, CalibrationError> {
+        self.cx_error.get(&e).copied().ok_or(CalibrationError::UnknownEdge(e))
     }
 
     /// CNOT duration (ns) for edge `e`.
     ///
     /// # Panics
     ///
-    /// Panics if `e` is not a calibrated edge.
+    /// Panics if `e` is not a calibrated edge; see
+    /// [`Calibration::try_cx_duration`] for the fallible form.
     pub fn cx_duration(&self, e: Edge) -> u64 {
-        *self.cx_duration.get(&e).unwrap_or_else(|| panic!("no calibration for edge {e}"))
+        self.try_cx_duration(e).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// CNOT duration (ns) for edge `e`, or an error if the edge is not
+    /// calibrated.
+    pub fn try_cx_duration(&self, e: Edge) -> Result<u64, CalibrationError> {
+        self.cx_duration.get(&e).copied().ok_or(CalibrationError::UnknownEdge(e))
     }
 
     /// Single-qubit gate error for qubit `q`.
@@ -384,6 +396,20 @@ mod tests {
     fn unknown_edge_panics() {
         let (_, c) = cal();
         c.cx_error(Edge::new(0, 19));
+    }
+
+    #[test]
+    fn try_lookups_return_typed_errors() {
+        let (t, c) = cal();
+        let known = t.edges()[0];
+        assert_eq!(c.try_cx_error(known), Ok(c.cx_error(known)));
+        assert_eq!(c.try_cx_duration(known), Ok(c.cx_duration(known)));
+        let bogus = Edge::new(0, 19);
+        assert_eq!(c.try_cx_error(bogus), Err(CalibrationError::UnknownEdge(bogus)));
+        assert_eq!(
+            c.try_cx_duration(bogus).unwrap_err().to_string(),
+            format!("no calibration for edge {bogus}")
+        );
     }
 
     #[test]

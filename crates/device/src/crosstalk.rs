@@ -24,7 +24,6 @@ use std::collections::BTreeMap;
 /// assert_eq!(xt.factor(Edge::new(0, 1), Edge::new(2, 3)), 1.0);
 /// ```
 #[derive(Clone, PartialEq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrosstalkMap {
     /// `(affected, aggressor) → factor ≥ 1`.
     factors: BTreeMap<(Edge, Edge), f64>,

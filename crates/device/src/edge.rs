@@ -14,7 +14,6 @@ use xtalk_ir::Qubit;
 /// assert_eq!(Edge::new(0, 5).to_string(), "CX0,5");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     lo: u32,
     hi: u32,

@@ -34,3 +34,20 @@ pub use crosstalk::CrosstalkMap;
 pub use device::Device;
 pub use edge::Edge;
 pub use topology::Topology;
+
+/// Failure looking up calibration data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CalibrationError {
+    /// The queried edge is not a calibrated CNOT site.
+    UnknownEdge(Edge),
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::UnknownEdge(e) => write!(f, "no calibration for edge {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}

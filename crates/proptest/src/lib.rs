@@ -1,0 +1,196 @@
+//! Offline, dependency-free stand-in for the slice of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small random-testing harness under the same crate name. It keeps the
+//! *API shape* of proptest — `proptest!`, range and tuple strategies,
+//! `prop_map`/`prop_filter_map`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop_assert*!`, `ProptestConfig::with_cases` — but generates inputs by
+//! plain seeded random sampling and does **not** shrink failing cases.
+//! Failures print the generated input (via `Debug`) and the case number,
+//! and every run is deterministic, so a failure reproduces exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable façade, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module alias exported by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Supports the subset of proptest's grammar used
+/// in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10, v in prop::collection::vec(0i64..5, 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                // Deterministic per-test seed derived from the test path.
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the enclosing property if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the enclosing property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks uniformly among the listed strategies (all producing the same
+/// value type). Weight prefixes are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::one_of_arm($strategy),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..10, (a, b) in (0i64..5, -3.0..3.0f64)) {
+            prop_assert!(x < 10);
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((-3.0..3.0).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_oneof(v in prop::collection::vec(prop_oneof![0usize..3, 10usize..13], 0..6)) {
+            prop_assert!(v.len() < 6);
+            for x in v {
+                prop_assert!(x < 3 || (10..13).contains(&x));
+            }
+        }
+
+        #[test]
+        fn filter_map_retries(q in (0u32..4, 0u32..4).prop_filter_map("distinct", |(a, b)| {
+            (a != b).then_some((a, b))
+        })) {
+            prop_assert_ne!(q.0, q.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let s = crate::collection::vec(0u64..100, 3..9);
+        for _ in 0..10 {
+            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[allow(dead_code)]
+        fn always_fails(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case_number() {
+        always_fails();
+    }
+}

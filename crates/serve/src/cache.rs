@@ -1,0 +1,132 @@
+//! Characterization cache with drift-aware invalidation.
+//!
+//! Characterization is the expensive step of the paper's toolflow (hours
+//! of machine time at paper scale), and its product stays valid until the
+//! next calibration day. The cache therefore keys entries by
+//! `(device, policy, seed)` *plus the calibration epoch*: an
+//! `advance_day` request drifts every device (via
+//! [`xtalk_device::Device::on_day`], which applies the daily-drift model
+//! of `xtalk-device`'s calibration) and bumps the epoch, instantly
+//! invalidating every cached characterization.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use xtalk_charac::{Characterization, CharacterizationReport};
+
+/// Identity of one characterization run.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Device name.
+    pub device: String,
+    /// Policy name (`truth`, `all`, `onehop`, `binpacked`).
+    pub policy: String,
+    /// RB seed.
+    pub seed: u64,
+    /// Calibration epoch the run is valid for.
+    pub epoch: u64,
+}
+
+/// A cached characterization plus (for measured policies) its cost report.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CacheEntry {
+    /// The compiler-facing error tables.
+    pub charac: Characterization,
+    /// Cost accounting; `None` for the free `truth` policy.
+    pub report: Option<CharacterizationReport>,
+}
+
+/// Thread-safe characterization store.
+#[derive(Default)]
+pub struct CharacCache {
+    map: Mutex<HashMap<CacheKey, Arc<CacheEntry>>>,
+}
+
+impl CharacCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CharacCache::default()
+    }
+
+    /// Looks up `key`; on a miss, runs `build` (outside the lock — two
+    /// racing misses may both build, last write wins, both results are
+    /// identical because characterization is deterministic in the key)
+    /// and stores the result. Returns the entry and whether it was a hit.
+    pub fn get_or_build(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> CacheEntry,
+    ) -> (Arc<CacheEntry>, bool) {
+        if let Some(hit) = self.map.lock().unwrap().get(&key).cloned() {
+            return (hit, true);
+        }
+        let entry = Arc::new(build());
+        self.map.lock().unwrap().insert(key, entry.clone());
+        (entry, false)
+    }
+
+    /// Drops every entry from an epoch before `epoch` — called when the
+    /// calibration day advances.
+    pub fn invalidate_before(&self, epoch: u64) {
+        self.map.lock().unwrap().retain(|k, _| k.epoch >= epoch);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// `true` if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_charac::Characterization;
+    use xtalk_device::Device;
+
+    fn key(epoch: u64) -> CacheKey {
+        CacheKey { device: "d".into(), policy: "truth".into(), seed: 7, epoch }
+    }
+
+    fn entry() -> CacheEntry {
+        let device = Device::line(3, 1);
+        CacheEntry { charac: Characterization::from_ground_truth(&device), report: None }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = CharacCache::new();
+        let (_, hit) = cache.get_or_build(key(0), entry);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(key(0), || panic!("must not rebuild"));
+        assert!(hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = CharacCache::new();
+        cache.get_or_build(key(0), entry);
+        let mut other = key(0);
+        other.seed = 8;
+        let (_, hit) = cache.get_or_build(other, entry);
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn epoch_invalidation() {
+        let cache = CharacCache::new();
+        cache.get_or_build(key(0), entry);
+        cache.get_or_build(key(1), entry);
+        cache.invalidate_before(1);
+        assert_eq!(cache.len(), 1);
+        let (_, hit) = cache.get_or_build(key(0), entry);
+        assert!(!hit, "epoch-0 entry must be gone");
+        let (_, hit) = cache.get_or_build(key(1), || panic!("epoch-1 entry must survive"));
+        assert!(hit);
+    }
+}

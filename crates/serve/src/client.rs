@@ -1,0 +1,84 @@
+//! Blocking client for the job service.
+
+use crate::json::{obj, Json};
+use crate::protocol::{read_frame, write_frame};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a running server. Requests are strictly
+/// request/response over the same connection, so a client is cheap and a
+/// caller wanting concurrency opens several.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client { writer: stream.try_clone()?, reader: BufReader::new(stream) })
+    }
+
+    /// Bounds how long [`Client::request`] waits for a response
+    /// (`None` = forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        write_frame(&mut self.writer, request)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))
+    }
+
+    /// Liveness probe; `Ok(true)` if the server answered the ping.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let resp = self.request(&obj([("type", "ping".into())]))?;
+        Ok(resp.get("ok").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&obj([("type", "stats".into())]))
+    }
+
+    /// Advances the simulated calibration day, returning the new epoch.
+    pub fn advance_day(&mut self) -> io::Result<u64> {
+        let resp = self.request(&obj([("type", "advance_day".into())]))?;
+        resp.get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no epoch in response"))
+    }
+
+    /// Asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&obj([("type", "shutdown".into())]))
+    }
+
+    /// Submits a `run` job for a QASM source with the given options.
+    pub fn run_qasm(
+        &mut self,
+        qasm: &str,
+        device: &str,
+        scheduler: &str,
+        shots: u64,
+        seed: u64,
+    ) -> io::Result<Json> {
+        self.request(&obj([
+            ("type", "run".into()),
+            ("qasm", qasm.into()),
+            ("device", device.into()),
+            ("scheduler", scheduler.into()),
+            ("shots", shots.into()),
+            ("seed", seed.into()),
+        ]))
+    }
+}
+
+/// `true` if a response is the backpressure (queue-full) rejection.
+pub fn is_busy(resp: &Json) -> bool {
+    resp.get("busy").and_then(Json::as_bool).unwrap_or(false)
+}

@@ -1,0 +1,255 @@
+//! Job handlers: the worker-pool side of every heavy request.
+
+use crate::json::{obj, Json};
+use crate::protocol::{err_response, ok_response, Request};
+use crate::state::ServeState;
+use xtalk_core::layout::route_with_greedy_layout;
+use xtalk_core::optimize::fuse_single_qubit_gates;
+use xtalk_core::pipeline::{run_scheduled_threads, swap_bell_error};
+use xtalk_core::sched::check_hardware_compliant;
+use xtalk_core::transpile::lower_to_native;
+use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_device::Device;
+use xtalk_ir::{qasm, Circuit};
+
+/// Executes one heavy request to completion. Light requests (`ping`,
+/// `stats`, `shutdown`, `advance_day`) are answered on the connection
+/// thread and never reach this function.
+pub fn handle(state: &ServeState, req: &Request) -> Json {
+    match run(state, req) {
+        Ok(response) => response,
+        Err(message) => err_response(message),
+    }
+}
+
+fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
+    match req {
+        Request::Sleep { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            Ok(ok_response([("slept_ms", (*ms).into())]))
+        }
+        Request::Characterize { device, policy, seed, seqs, shots } => {
+            let (entry, cached) =
+                state.characterization(device, policy, *seed, *seqs, *shots)?;
+            let high: Vec<Json> = entry
+                .charac
+                .high_pairs(3.0)
+                .into_iter()
+                .map(|(a, b)| Json::Arr(vec![a.to_string().into(), b.to_string().into()]))
+                .collect();
+            let mut fields = vec![
+                ("device".to_string(), Json::Str(device.clone())),
+                ("policy".to_string(), Json::Str(policy.clone())),
+                ("epoch".to_string(), state.epoch().into()),
+                ("cached".to_string(), cached.into()),
+                ("high_pairs".to_string(), Json::Arr(high)),
+            ];
+            if let Some(report) = &entry.report {
+                fields.push((
+                    "report".to_string(),
+                    obj([
+                        ("experiments", report.num_experiments.into()),
+                        ("pairs", report.num_pairs.into()),
+                        ("executions", report.executions.into()),
+                        ("machine_time_hours", Json::Num(report.machine_time_hours)),
+                    ]),
+                ));
+            }
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields);
+            Ok(Json::Obj(pairs))
+        }
+        Request::Schedule { device, qasm, scheduler, omega, policy, seed } => {
+            let (dev, ctx, cached) = context_for(state, device, policy, *seed)?;
+            let circuit = prepare_circuit(qasm, &dev, &ctx)?;
+            let sched_obj = scheduler_by_name(scheduler, *omega)?;
+            let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
+            Ok(ok_response([
+                ("device", dev.name().into()),
+                ("scheduler", sched_obj.name().into()),
+                ("makespan_ns", sched.makespan().into()),
+                ("instructions", sched.circuit().len().into()),
+                ("cached", cached.into()),
+                ("epoch", state.epoch().into()),
+            ]))
+        }
+        Request::Run { device, qasm, scheduler, omega, policy, shots, seed, threads } => {
+            let (dev, ctx, cached) = context_for(state, device, policy, *seed)?;
+            let circuit = prepare_circuit(qasm, &dev, &ctx)?;
+            let sched_obj = scheduler_by_name(scheduler, *omega)?;
+            let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
+            let counts = run_scheduled_threads(&dev, &sched, *shots, *seed, *threads);
+            let mut entries: Vec<(u64, u64)> = counts.iter().collect();
+            entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let counts_obj = Json::Obj(
+                entries
+                    .into_iter()
+                    .map(|(outcome, n)| {
+                        (format!("{outcome:0width$b}", width = counts.num_bits()), n.into())
+                    })
+                    .collect(),
+            );
+            Ok(ok_response([
+                ("device", dev.name().into()),
+                ("scheduler", sched_obj.name().into()),
+                ("makespan_ns", sched.makespan().into()),
+                ("shots", counts.shots().into()),
+                ("cached", cached.into()),
+                ("counts", counts_obj),
+            ]))
+        }
+        Request::SwapDemo { device, from, to, shots, seed } => {
+            let (dev, ctx, _) = context_for(state, device, "truth", *seed)?;
+            let schedulers: Vec<Box<dyn Scheduler>> = vec![
+                Box::new(SerialSched::new()),
+                Box::new(ParSched::new()),
+                Box::new(XtalkSched::new(0.5)),
+            ];
+            let mut rows = Vec::new();
+            for s in &schedulers {
+                let out = swap_bell_error(&dev, &ctx, s.as_ref(), *from, *to, *shots, *seed)
+                    .map_err(|e| e.to_string())?;
+                rows.push(obj([
+                    ("scheduler", s.name().into()),
+                    ("error_rate", Json::Num(out.error_rate)),
+                    ("duration_ns", out.duration_ns.into()),
+                ]));
+            }
+            Ok(ok_response([
+                ("device", dev.name().into()),
+                ("from", (*from).into()),
+                ("to", (*to).into()),
+                ("results", Json::Arr(rows)),
+            ]))
+        }
+        light => Err(format!("`{}` is not a pooled job", light.kind())),
+    }
+}
+
+/// Builds the device snapshot plus a scheduler context fed from the
+/// characterization cache. Returns whether the characterization was a
+/// cache hit.
+fn context_for(
+    state: &ServeState,
+    device: &str,
+    policy: &str,
+    seed: u64,
+) -> Result<(Device, SchedulerContext, bool), String> {
+    let dev = state.device(device)?;
+    let (entry, cached) = state.characterization(device, policy, seed, 3, 96)?;
+    let ctx = SchedulerContext::new(&dev, entry.charac.clone());
+    Ok((dev, ctx, cached))
+}
+
+/// Names a scheduler the same way the CLI does.
+pub fn scheduler_by_name(name: &str, omega: f64) -> Result<Box<dyn Scheduler>, String> {
+    if !(0.0..=1.0).contains(&omega) {
+        return Err(format!("omega must be in [0,1], got {omega}"));
+    }
+    Ok(match name {
+        "xtalk" => Box::new(XtalkSched::new(omega)),
+        "par" => Box::new(ParSched::new()),
+        "serial" => Box::new(SerialSched::new()),
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+/// Parses QASM and makes it hardware-compliant for `device`: lower to the
+/// native gate set, fuse single-qubit runs, then place & route unless the
+/// circuit already fits the coupling map at full device width. This is
+/// the same preparation the `xtalk run` CLI applies, so a served job and
+/// a local run of the same source produce the same scheduled circuit.
+pub fn prepare_circuit(
+    source: &str,
+    device: &Device,
+    ctx: &SchedulerContext,
+) -> Result<Circuit, String> {
+    let circuit = qasm::parse(source).map_err(|e| format!("qasm: {e}"))?;
+    let native = fuse_single_qubit_gates(&lower_to_native(&circuit));
+    let width = device.topology().num_qubits();
+    if native.num_qubits() > width {
+        return Err(format!(
+            "circuit uses {} qubits but {} has {width}",
+            native.num_qubits(),
+            device.name(),
+        ));
+    }
+    if check_hardware_compliant(&native, ctx).is_ok() && native.num_qubits() == width {
+        return Ok(native);
+    }
+    let mut padded = Circuit::new(width, native.num_clbits());
+    padded.try_extend(&native).map_err(|e| e.to_string())?;
+    let routed = route_with_greedy_layout(&padded, device.topology())
+        .map_err(|e| format!("routing failed: {e}"))?;
+    Ok(routed.circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ServeConfig, ServeState};
+
+    const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+
+    #[test]
+    fn run_job_returns_counts() {
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Run {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "par".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            shots: 128,
+            seed: 3,
+            threads: 1,
+        };
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("shots").and_then(Json::as_u64), Some(128));
+        let counts = resp.get("counts").unwrap();
+        let total: u64 = match counts {
+            Json::Obj(pairs) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+            _ => panic!("counts must be an object"),
+        };
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn schedule_job_reports_makespan_and_cache() {
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Schedule {
+            device: "boeblingen".into(),
+            qasm: BELL.into(),
+            scheduler: "xtalk".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            seed: 3,
+        };
+        let first = handle(&state, &req);
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        assert!(first.get("makespan_ns").and_then(Json::as_u64).unwrap() > 0);
+        let second = handle(&state, &req);
+        assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn bad_inputs_produce_error_responses() {
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Run {
+            device: "poughkeepsie".into(),
+            qasm: "this is not qasm".into(),
+            scheduler: "par".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            shots: 8,
+            seed: 3,
+            threads: 1,
+        };
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("qasm"));
+        assert!(scheduler_by_name("quantum-leap", 0.5).is_err());
+        assert!(scheduler_by_name("xtalk", 1.5).is_err());
+    }
+}

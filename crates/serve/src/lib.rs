@@ -1,0 +1,54 @@
+//! A multi-threaded job service for the crosstalk-mitigation toolchain.
+//!
+//! This crate turns the library pipeline (characterize → schedule → run)
+//! into a long-lived network service, std-only and dependency-free:
+//!
+//! * **Wire protocol** — line-delimited JSON over TCP with a hand-rolled
+//!   codec ([`protocol`], [`json`]). Requests: `ping`, `stats`,
+//!   `shutdown`, `advance_day`, `sleep`, `characterize`, `schedule`,
+//!   `run`, `swap_demo`.
+//! * **Worker pool** — a fixed set of OS threads pulling from one bounded
+//!   queue ([`pool`]); when the queue is full the server answers
+//!   `{"ok":false,"busy":true}` instead of buffering unboundedly.
+//! * **Characterization cache** — results keyed by
+//!   `(device, policy, seed)` and the calibration epoch ([`cache`]);
+//!   `advance_day` drifts every device through
+//!   [`xtalk_device::Device::on_day`] (the daily-drift model of the
+//!   paper's Section 5.1) and invalidates the cache.
+//! * **Metrics** — request/latency/queue-depth/cache counters surfaced by
+//!   the `stats` request and the shutdown summary ([`metrics`]).
+//! * **Determinism** — `run` jobs execute through
+//!   [`xtalk-sim`](xtalk_sim)'s parallel trajectory executor, whose
+//!   per-shot seed derivation makes counts bit-identical for a fixed seed
+//!   regardless of worker or executor thread count.
+//!
+//! ```no_run
+//! use xtalk_serve::{Client, ServeConfig, Server};
+//!
+//! let mut config = ServeConfig::default();
+//! config.addr = "127.0.0.1:0".to_string();
+//! let server = Server::start(config).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let bell = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0]->c[0];\nmeasure q[1]->c[1];\n";
+//! let resp = client.run_qasm(bell, "poughkeepsie", "xtalk", 2048, 7).unwrap();
+//! println!("{}", resp.dump());
+//! client.shutdown().unwrap();
+//! println!("{}", server.join());
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod jobs;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{is_busy, Client};
+pub use json::Json;
+pub use protocol::Request;
+pub use server::Server;
+pub use state::{ServeConfig, ServeState};

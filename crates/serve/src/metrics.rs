@@ -1,0 +1,134 @@
+//! Lock-free service metrics, reported through `stats` requests and the
+//! shutdown summary.
+
+use crate::json::{obj, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter registry. All counters are monotonic except `queue_depth`,
+/// which tracks the jobs currently waiting in (or admitted to) the pool.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests decoded, of any type.
+    pub requests: AtomicU64,
+    /// Requests rejected with the busy (backpressure) response.
+    pub busy_rejections: AtomicU64,
+    /// Malformed frames / undecodable requests.
+    pub bad_requests: AtomicU64,
+    /// Jobs a worker finished successfully.
+    pub jobs_ok: AtomicU64,
+    /// Jobs that returned an error (including worker panics).
+    pub jobs_failed: AtomicU64,
+    /// Jobs whose caller gave up waiting (the job itself still ran).
+    pub jobs_timed_out: AtomicU64,
+    /// Jobs currently queued or running.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_peak: AtomicU64,
+    /// Characterization cache hits.
+    pub cache_hits: AtomicU64,
+    /// Characterization cache misses (characterization actually ran).
+    pub cache_misses: AtomicU64,
+    /// Sum of worker job latencies, microseconds.
+    pub job_micros: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a job entering the pool, maintaining the high-water mark.
+    pub fn job_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Reverses a [`Metrics::job_enqueued`] whose submission was then
+    /// rejected (queue full / pool gone).
+    pub fn job_rejected(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)));
+    }
+
+    /// Notes a job leaving the pool after `micros` of work.
+    pub fn job_finished(&self, micros: u64, ok: bool) {
+        // Saturating: a job submitted without `job_enqueued` (as some unit
+        // tests do) must not wrap the gauge.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)));
+        self.job_micros.fetch_add(micros, Ordering::Relaxed);
+        Metrics::inc(if ok { &self.jobs_ok } else { &self.jobs_failed });
+    }
+
+    /// Point-in-time snapshot as a JSON object (the `stats` payload).
+    pub fn snapshot(&self) -> Json {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let jobs = load(&self.jobs_ok) + load(&self.jobs_failed);
+        let mean_ms = if jobs == 0 {
+            0.0
+        } else {
+            load(&self.job_micros) as f64 / jobs as f64 / 1000.0
+        };
+        obj([
+            ("requests", load(&self.requests).into()),
+            ("connections", load(&self.connections).into()),
+            ("busy_rejections", load(&self.busy_rejections).into()),
+            ("bad_requests", load(&self.bad_requests).into()),
+            ("jobs_ok", load(&self.jobs_ok).into()),
+            ("jobs_failed", load(&self.jobs_failed).into()),
+            ("jobs_timed_out", load(&self.jobs_timed_out).into()),
+            ("queue_depth", load(&self.queue_depth).into()),
+            ("queue_peak", load(&self.queue_peak).into()),
+            ("cache_hits", load(&self.cache_hits).into()),
+            ("cache_misses", load(&self.cache_misses).into()),
+            ("mean_job_ms", Json::Num((mean_ms * 1000.0).round() / 1000.0)),
+        ])
+    }
+
+    /// One-line human summary for the shutdown log.
+    pub fn summary(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "served {} requests over {} connections: {} jobs ok, {} failed, \
+             {} timed out, {} shed (queue peak {}); cache {} hits / {} misses",
+            load(&self.requests),
+            load(&self.connections),
+            load(&self.jobs_ok),
+            load(&self.jobs_failed),
+            load(&self.jobs_timed_out),
+            load(&self.busy_rejections),
+            load(&self.queue_peak),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::default();
+        Metrics::inc(&m.requests);
+        Metrics::inc(&m.requests);
+        m.job_enqueued();
+        m.job_enqueued();
+        m.job_finished(1500, true);
+        m.job_finished(500, false);
+        let s = m.snapshot();
+        assert_eq!(s.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("jobs_ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("jobs_failed").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(s.get("queue_peak").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("mean_job_ms").and_then(Json::as_f64), Some(1.0));
+        assert!(m.summary().contains("2 requests"));
+    }
+}

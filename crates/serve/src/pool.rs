@@ -1,0 +1,196 @@
+//! Fixed worker pool with a bounded queue and explicit backpressure.
+
+use crate::jobs;
+use crate::json::Json;
+use crate::protocol::{err_response, Request};
+use crate::state::ServeState;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of work: the decoded request plus the channel the connection
+/// thread is waiting on.
+pub struct Job {
+    /// The request to execute.
+    pub request: Request,
+    /// Where the response goes; the send is allowed to fail (the caller
+    /// may have timed out and hung up).
+    pub reply: mpsc::Sender<Json>,
+}
+
+/// What flows through the queue: work, or a stop sentinel consumed by
+/// exactly one worker during shutdown.
+pub enum WorkItem {
+    /// A request to execute.
+    Job(Job),
+    /// Terminate the receiving worker.
+    Stop,
+}
+
+/// A fixed set of worker threads pulling jobs from one bounded channel.
+pub struct Pool {
+    tx: SyncSender<WorkItem>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads with room for `queue_cap` waiting jobs.
+    pub fn new(workers: usize, queue_cap: usize, state: Arc<ServeState>) -> Pool {
+        let (tx, rx) = mpsc::sync_channel::<WorkItem>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("xtalk-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool { tx, workers }
+    }
+
+    /// A submission handle for connection threads.
+    pub fn sender(&self) -> SyncSender<WorkItem> {
+        self.tx.clone()
+    }
+
+    /// Drains queued jobs, then stops and joins the workers. One `Stop`
+    /// per worker is queued *behind* any outstanding work (blocking on
+    /// queue space), so accepted jobs still complete. Lingering
+    /// connection threads may hold sender clones; their submissions after
+    /// this simply never get picked up, which is fine — the server only
+    /// shuts the pool down on its way out of the process.
+    pub fn shutdown(self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(WorkItem::Stop);
+        }
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Outcome of a non-blocking submission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Submit {
+    /// Job accepted into the queue.
+    Accepted,
+    /// Queue full — the caller should answer busy.
+    Full,
+    /// The pool is shut down.
+    Disconnected,
+}
+
+/// Submits without blocking.
+pub fn try_submit(tx: &SyncSender<WorkItem>, job: Job) -> Submit {
+    match tx.try_send(WorkItem::Job(job)) {
+        Ok(()) => Submit::Accepted,
+        Err(TrySendError::Full(_)) => Submit::Full,
+        Err(TrySendError::Disconnected(_)) => Submit::Disconnected,
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<WorkItem>>>, state: &Arc<ServeState>) {
+    loop {
+        // Hold the lock only for the dequeue, not the job.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(WorkItem::Job(job)) => job,
+            Ok(WorkItem::Stop) | Err(_) => return,
+        };
+        let start = Instant::now();
+        let response = catch_unwind(AssertUnwindSafe(|| jobs::handle(state, &job.request)))
+            .unwrap_or_else(|panic| err_response(format!("job panicked: {}", panic_text(&panic))));
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        state.metrics.job_finished(start.elapsed().as_micros() as u64, ok);
+        let _ = job.reply.send(response);
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+    use std::time::Duration;
+
+    fn sleep_job(ms: u64, reply: mpsc::Sender<Json>) -> Job {
+        Job { request: Request::Sleep { ms }, reply }
+    }
+
+    #[test]
+    fn executes_jobs_and_counts_latency() {
+        let state = ServeState::new(ServeConfig::default());
+        let pool = Pool::new(2, 4, state.clone());
+        let (tx, rx) = mpsc::channel();
+        state.metrics.job_enqueued();
+        assert_eq!(try_submit(&pool.sender(), sleep_job(1, tx)), Submit::Accepted);
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        pool.shutdown();
+        assert_eq!(state.metrics.jobs_ok.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure() {
+        let state = ServeState::new(ServeConfig::default());
+        // One worker, queue of one: the third submission must shed.
+        let pool = Pool::new(1, 1, state.clone());
+        let sender = pool.sender();
+        let (tx, rx) = mpsc::channel();
+        // Submit back-to-back until the bounded queue sheds: the worker
+        // needs 200 ms per job, the submissions are instantaneous, so
+        // only worker + queue slot (≈2) can be accepted.
+        let mut accepted = 0;
+        let mut shed = false;
+        for _ in 0..10 {
+            match try_submit(&sender, sleep_job(200, tx.clone())) {
+                Submit::Accepted => accepted += 1,
+                Submit::Full => {
+                    shed = true;
+                    break;
+                }
+                Submit::Disconnected => panic!("pool disconnected"),
+            }
+        }
+        assert!(shed, "bounded queue never filled after {accepted} accepts");
+        assert!((1..=3).contains(&accepted), "accepted {accepted}");
+        // Accepted jobs still complete.
+        drop(tx);
+        drop(sender);
+        for _ in 0..accepted {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_yields_error_response() {
+        let state = ServeState::new(ServeConfig::default());
+        let pool = Pool::new(1, 2, state.clone());
+        let (tx, rx) = mpsc::channel();
+        state.metrics.job_enqueued();
+        // `Stats` is a light request; handing it to the pool is a coding
+        // error that `jobs::handle` turns into an error response (not a
+        // panic) — exercise the error path end to end.
+        assert_eq!(
+            try_submit(&pool.sender(), Job { request: Request::Stats, reply: tx }),
+            Submit::Accepted
+        );
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,318 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every frame is one JSON document followed by `\n`. Requests are
+//! objects with a `"type"` discriminator; responses always carry an
+//! `"ok"` boolean, plus `"error"` when `ok` is false and `"busy": true
+//! when the request was shed due to a full job queue.
+
+use crate::json::{obj, Json};
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on one frame, to keep a misbehaving peer from ballooning
+/// memory. Generous enough for any QASM payload this toolchain emits.
+pub const MAX_FRAME_BYTES: u64 = 8 * 1024 * 1024;
+
+/// A decoded job request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful server shutdown.
+    Shutdown,
+    /// Advances the simulated calibration day: drifts every device's
+    /// calibration and invalidates the characterization cache.
+    AdvanceDay {
+        /// Drift seed (deterministic drift per day).
+        seed: u64,
+    },
+    /// Sleeps on a worker for `ms` milliseconds — a deterministic stand-in
+    /// for a slow job, used to exercise backpressure and timeouts.
+    Sleep {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+    /// Runs (or fetches from cache) a crosstalk characterization.
+    Characterize {
+        /// Device name (`poughkeepsie` | `johannesburg` | `boeblingen`).
+        device: String,
+        /// Policy name (`truth` | `all` | `onehop` | `binpacked`).
+        policy: String,
+        /// RB seed (part of the cache key).
+        seed: u64,
+        /// Random sequences per RB length.
+        seqs: usize,
+        /// Shots per RB circuit.
+        shots: u64,
+    },
+    /// Schedules a QASM circuit and reports the schedule.
+    Schedule {
+        /// Device name.
+        device: String,
+        /// OpenQASM 2.0 source.
+        qasm: String,
+        /// Scheduler (`xtalk` | `par` | `serial`).
+        scheduler: String,
+        /// XtalkSched's crosstalk/decoherence weight ω.
+        omega: f64,
+        /// Characterization policy feeding the scheduler.
+        policy: String,
+        /// Characterization seed (cache key).
+        seed: u64,
+    },
+    /// Schedules and executes a QASM circuit, returning counts.
+    Run {
+        /// Device name.
+        device: String,
+        /// OpenQASM 2.0 source.
+        qasm: String,
+        /// Scheduler (`xtalk` | `par` | `serial`).
+        scheduler: String,
+        /// XtalkSched's ω.
+        omega: f64,
+        /// Characterization policy feeding the scheduler.
+        policy: String,
+        /// Trajectories to sample.
+        shots: u64,
+        /// Executor base seed.
+        seed: u64,
+        /// Executor threads (0 = all available parallelism).
+        threads: usize,
+    },
+    /// The SWAP-circuit benchmark between two qubits, comparing all three
+    /// schedulers (the paper's Figure 5 demo).
+    SwapDemo {
+        /// Device name.
+        device: String,
+        /// Source qubit.
+        from: u32,
+        /// Destination qubit.
+        to: u32,
+        /// Shots per tomography basis.
+        shots: u64,
+        /// Base seed.
+        seed: u64,
+    },
+}
+
+impl Request {
+    /// Decodes a request object, validating the `"type"` discriminator.
+    pub fn parse(v: &Json) -> Result<Request, String> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `type` field")?;
+        let str_field = |key: &str, default: &str| -> String {
+            v.get(key).and_then(Json::as_str).unwrap_or(default).to_string()
+        };
+        let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(x) => x.as_u64().ok_or(format!("`{key}` must be a non-negative integer")),
+            }
+        };
+        let f64_field = |key: &str, default: f64| -> Result<f64, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(x) => x.as_f64().ok_or(format!("`{key}` must be a number")),
+            }
+        };
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "advance_day" => Ok(Request::AdvanceDay { seed: u64_field("seed", 1)? }),
+            "sleep" => Ok(Request::Sleep { ms: u64_field("ms", 10)?.min(60_000) }),
+            "characterize" => Ok(Request::Characterize {
+                device: str_field("device", "poughkeepsie"),
+                policy: str_field("policy", "binpacked"),
+                seed: u64_field("seed", 7)?,
+                seqs: u64_field("seqs", 3)? as usize,
+                shots: u64_field("shots", 96)?,
+            }),
+            "schedule" => Ok(Request::Schedule {
+                device: str_field("device", "poughkeepsie"),
+                qasm: v
+                    .get("qasm")
+                    .and_then(Json::as_str)
+                    .ok_or("`schedule` needs a `qasm` string")?
+                    .to_string(),
+                scheduler: str_field("scheduler", "xtalk"),
+                omega: f64_field("omega", 0.5)?,
+                policy: str_field("policy", "truth"),
+                seed: u64_field("seed", 7)?,
+            }),
+            "run" => Ok(Request::Run {
+                device: str_field("device", "poughkeepsie"),
+                qasm: v
+                    .get("qasm")
+                    .and_then(Json::as_str)
+                    .ok_or("`run` needs a `qasm` string")?
+                    .to_string(),
+                scheduler: str_field("scheduler", "xtalk"),
+                omega: f64_field("omega", 0.5)?,
+                policy: str_field("policy", "truth"),
+                shots: u64_field("shots", 2048)?,
+                seed: u64_field("seed", 7)?,
+                threads: u64_field("threads", 0)? as usize,
+            }),
+            "swap_demo" => Ok(Request::SwapDemo {
+                device: str_field("device", "poughkeepsie"),
+                from: u64_field("from", 0)? as u32,
+                to: u64_field("to", 13)? as u32,
+                shots: u64_field("shots", 256)?,
+                seed: u64_field("seed", 42)?,
+            }),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// Stable label used for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::AdvanceDay { .. } => "advance_day",
+            Request::Sleep { .. } => "sleep",
+            Request::Characterize { .. } => "characterize",
+            Request::Schedule { .. } => "schedule",
+            Request::Run { .. } => "run",
+            Request::SwapDemo { .. } => "swap_demo",
+        }
+    }
+
+    /// `true` if the request must go through the worker pool (may take
+    /// seconds); light requests are answered on the connection thread.
+    pub fn is_heavy(&self) -> bool {
+        matches!(
+            self,
+            Request::Sleep { .. }
+                | Request::Characterize { .. }
+                | Request::Schedule { .. }
+                | Request::Run { .. }
+                | Request::SwapDemo { .. }
+        )
+    }
+}
+
+/// A successful response carrying extra fields.
+pub fn ok_response<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs)
+}
+
+/// A failure response.
+pub fn err_response(message: impl Into<String>) -> Json {
+    obj([("ok", false.into()), ("error", Json::Str(message.into()))])
+}
+
+/// The backpressure response: queue full, try again later.
+pub fn busy_response() -> Json {
+    obj([
+        ("ok", false.into()),
+        ("busy", true.into()),
+        ("error", "server busy: job queue full".into()),
+    ])
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
+    let mut line = v.dump();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF; malformed JSON is an
+/// `InvalidData` error (the line framing survives, so the connection can
+/// keep going).
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Json>> {
+    let mut line = String::new();
+    let n = r.by_ref().take(MAX_FRAME_BYTES).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n as u64 >= MAX_FRAME_BYTES && !line.ends_with('\n') {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        // Tolerate blank keep-alive lines.
+        return read_frame(r);
+    }
+    Json::parse(trimmed)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_request_with_defaults() {
+        let v = Json::parse(r#"{"type":"run","qasm":"OPENQASM 2.0;"}"#).unwrap();
+        let req = Request::parse(&v).unwrap();
+        match req {
+            Request::Run { device, scheduler, shots, threads, .. } => {
+                assert_eq!(device, "poughkeepsie");
+                assert_eq!(scheduler, "xtalk");
+                assert_eq!(shots, 2048);
+                assert_eq!(threads, 0);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for bad in [
+            r#"{"no_type":1}"#,
+            r#"{"type":"frobnicate"}"#,
+            r#"{"type":"run"}"#,
+            r#"{"type":"sleep","ms":-3}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::parse(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn heavy_classification() {
+        assert!(!Request::Ping.is_heavy());
+        assert!(!Request::Stats.is_heavy());
+        assert!(Request::Sleep { ms: 1 }.is_heavy());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let v = ok_response([("answer", 42u64.into())]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &busy_response()).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v));
+        let busy = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(busy.get("busy").and_then(Json::as_bool), Some(true));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let buf = b"\n  \n{\"type\":\"ping\"}\n".to_vec();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let v = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("ping"));
+    }
+
+    #[test]
+    fn malformed_frame_is_invalid_data() {
+        let buf = b"{nope\n".to_vec();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared server state: configuration, device fleet, cache, metrics.
+
+use crate::cache::{CacheEntry, CacheKey, CharacCache};
+use crate::metrics::Metrics;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use xtalk_charac::policy::TimeModel;
+use xtalk_charac::{characterize, Characterization, CharacterizationPolicy, RbConfig};
+use xtalk_device::Device;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing jobs (0 = available parallelism).
+    pub workers: usize,
+    /// Jobs that may wait in the queue beyond the ones being executed;
+    /// submissions past this bound get the busy response.
+    pub queue_cap: usize,
+    /// How long a connection waits for its job before reporting a
+    /// timeout (the job itself is not cancelled).
+    pub job_timeout: Duration,
+    /// Seed for the device fleet's day-0 calibration.
+    pub device_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            queue_cap: 32,
+            job_timeout: Duration::from_secs(120),
+            device_seed: 7,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count with `0` resolved to available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(2, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// Everything shared between the acceptor, connection threads and the
+/// worker pool.
+pub struct ServeState {
+    /// The configuration the server started with.
+    pub config: ServeConfig,
+    /// The simulated device fleet, keyed by name. Mutated only by
+    /// `advance_day`.
+    devices: Mutex<BTreeMap<String, Device>>,
+    /// The characterization cache.
+    pub cache: CharacCache,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// Calibration epoch: starts at 0, bumped by each `advance_day`.
+    epoch: AtomicU64,
+    /// Set to stop the accept loop.
+    pub shutdown: AtomicBool,
+}
+
+impl ServeState {
+    /// Builds the state with the three IBMQ device models at day 0.
+    pub fn new(config: ServeConfig) -> Arc<ServeState> {
+        let devices = Device::all_ibmq(config.device_seed)
+            .into_iter()
+            .map(|d| (d.name().to_string(), d))
+            .collect();
+        Arc::new(ServeState {
+            config,
+            devices: Mutex::new(devices),
+            cache: CharacCache::new(),
+            metrics: Metrics::default(),
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The current calibration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the named device's current (possibly drifted) model.
+    /// Accepts both preset names (`ibmq_poughkeepsie`) and the short form
+    /// the CLI uses (`poughkeepsie`).
+    pub fn device(&self, name: &str) -> Result<Device, String> {
+        let devices = self.devices.lock().unwrap();
+        devices
+            .get(name)
+            .or_else(|| devices.get(&format!("ibmq_{name}")))
+            .cloned()
+            .ok_or_else(|| format!("unknown device `{name}` (try poughkeepsie, johannesburg, boeblingen)"))
+    }
+
+    /// Advances the simulated calibration day: every device drifts via
+    /// [`Device::on_day`] and the characterization cache is invalidated.
+    /// Returns the new epoch.
+    pub fn advance_day(&self) -> u64 {
+        let mut devices = self.devices.lock().unwrap();
+        // Holding the device lock while bumping keeps epoch and fleet in
+        // step for concurrent observers.
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        for device in devices.values_mut() {
+            *device = device.on_day(epoch as u32);
+        }
+        drop(devices);
+        self.cache.invalidate_before(epoch);
+        epoch
+    }
+
+    /// The characterization for `(device, policy, seed)` at the current
+    /// epoch, from cache when possible. Returns the entry and whether it
+    /// was a cache hit.
+    pub fn characterization(
+        &self,
+        device_name: &str,
+        policy: &str,
+        seed: u64,
+        seqs: usize,
+        shots: u64,
+    ) -> Result<(Arc<CacheEntry>, bool), String> {
+        let device = self.device(device_name)?;
+        let policy_obj = match policy {
+            "truth" => None,
+            "all" => Some(CharacterizationPolicy::AllPairs),
+            "onehop" => Some(CharacterizationPolicy::OneHop),
+            "binpacked" => Some(CharacterizationPolicy::OneHopBinPacked { k_hops: 2 }),
+            other => return Err(format!("unknown policy `{other}`")),
+        };
+        let key = CacheKey {
+            device: device_name.to_string(),
+            policy: policy.to_string(),
+            seed,
+            epoch: self.epoch(),
+        };
+        let (entry, hit) = self.cache.get_or_build(key, || match policy_obj {
+            None => CacheEntry {
+                charac: Characterization::from_ground_truth(&device),
+                report: None,
+            },
+            Some(p) => {
+                let config = RbConfig {
+                    seqs_per_length: seqs.max(1),
+                    shots: shots.max(16),
+                    seed,
+                    ..Default::default()
+                };
+                let (charac, report) =
+                    characterize(&device, &p, &config, &TimeModel::default());
+                CacheEntry { charac, report: Some(report) }
+            }
+        });
+        Metrics::inc(if hit { &self.metrics.cache_hits } else { &self.metrics.cache_misses });
+        Ok((entry, hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_drift_on_advance_day() {
+        let state = ServeState::new(ServeConfig::default());
+        let before = state.device("poughkeepsie").unwrap();
+        assert_eq!(state.advance_day(), 1);
+        let after = state.device("poughkeepsie").unwrap();
+        assert_ne!(before.calibration(), after.calibration());
+        assert!(state.device("nonesuch").is_err());
+    }
+
+    #[test]
+    fn characterization_caches_until_day_advances() {
+        let state = ServeState::new(ServeConfig::default());
+        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert!(!hit);
+        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert!(hit);
+        state.advance_day();
+        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert!(!hit, "drift must invalidate the cache");
+        assert_eq!(state.metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(state.metrics.cache_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected() {
+        let state = ServeState::new(ServeConfig::default());
+        assert!(state.characterization("poughkeepsie", "psychic", 7, 3, 96).is_err());
+    }
+}

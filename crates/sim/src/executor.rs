@@ -108,12 +108,66 @@ impl<'a> Executor<'a> {
     /// Executes the schedule, returning measured counts over the circuit's
     /// classical register.
     ///
+    /// Equivalent to [`Executor::run_parallel`] with one thread: every
+    /// trajectory derives its own RNG stream from `(seed, shot)`, so the
+    /// counts are identical however the shots are later split over
+    /// threads.
+    ///
     /// # Panics
     ///
     /// Panics if the schedule is invalid ([`ScheduledCircuit::validate`])
     /// or if a component exceeds the statevector limit.
     pub fn run(&self, sched: &ScheduledCircuit) -> Counts {
+        self.run_parallel(sched, 1)
+    }
+
+    /// Executes the schedule with the Monte-Carlo trials split across
+    /// `threads` OS threads (`0` = all available parallelism).
+    ///
+    /// Each shot seeds its own RNG from `(config.seed, shot)`, which makes
+    /// the result **bit-identical** for a fixed seed regardless of thread
+    /// count — `run_parallel(s, 8)` returns exactly `run(s)`'s counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid ([`ScheduledCircuit::validate`]),
+    /// if a component exceeds the statevector limit, or if a worker thread
+    /// panics.
+    pub fn run_parallel(&self, sched: &ScheduledCircuit, threads: usize) -> Counts {
         sched.validate().expect("executor requires a valid schedule");
+        let prep = self.prepare(sched);
+        let shots = self.config.shots;
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(shots.max(1) as usize)
+        .max(1);
+
+        if threads == 1 {
+            return self.run_shot_range(sched, &prep, 0, shots);
+        }
+
+        let chunk = shots.div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            let prep = &prep;
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(shots);
+                    scope.spawn(move || self.run_shot_range(sched, prep, lo, hi))
+                })
+                .collect();
+            let mut counts = Counts::new(sched.circuit().num_clbits().max(1));
+            for handle in handles {
+                counts.merge(&handle.join().expect("trajectory worker panicked"));
+            }
+            counts
+        })
+    }
+
+    /// Precomputed schedule analysis shared by every trajectory.
+    fn prepare(&self, sched: &ScheduledCircuit) -> Prepared {
         let circuit = sched.circuit();
 
         // Effective (crosstalk-conditioned) error factor per 2q gate: the
@@ -137,8 +191,6 @@ impl<'a> Executor<'a> {
         }
 
         let comps = components(circuit);
-        let mut counts = Counts::new(circuit.num_clbits().max(1));
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // Per-component instruction lists in time order.
         let comp_instrs: Vec<Vec<usize>> = comps
@@ -156,10 +208,23 @@ impl<'a> Executor<'a> {
             })
             .collect();
 
-        for _shot in 0..self.config.shots {
+        Prepared { factor, comps, comp_instrs }
+    }
+
+    /// Runs shots `lo..hi`, each on its own derived RNG stream.
+    fn run_shot_range(
+        &self,
+        sched: &ScheduledCircuit,
+        prep: &Prepared,
+        lo: u64,
+        hi: u64,
+    ) -> Counts {
+        let mut counts = Counts::new(sched.circuit().num_clbits().max(1));
+        for shot in lo..hi {
+            let mut rng = StdRng::seed_from_u64(shot_stream_seed(self.config.seed, shot));
             let mut outcome: u64 = 0;
-            for (qubits, instrs) in comps.iter().zip(&comp_instrs) {
-                outcome |= self.run_trajectory(sched, qubits, instrs, &factor, &mut rng);
+            for (qubits, instrs) in prep.comps.iter().zip(&prep.comp_instrs) {
+                outcome |= self.run_trajectory(sched, qubits, instrs, &prep.factor, &mut rng);
             }
             counts.record(outcome);
         }
@@ -262,6 +327,23 @@ impl<'a> Executor<'a> {
         }
         bits
     }
+}
+
+/// Schedule analysis computed once and shared (read-only) by all shots.
+struct Prepared {
+    factor: Vec<f64>,
+    comps: Vec<Vec<usize>>,
+    comp_instrs: Vec<Vec<usize>>,
+}
+
+/// Derives shot `shot`'s RNG seed from the base seed (SplitMix64-style
+/// finalizer). Independent of thread layout, so sequential and parallel
+/// execution sample identical trajectories.
+fn shot_stream_seed(base: u64, shot: u64) -> u64 {
+    let mut z = base ^ shot.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn edge_of(circuit: &Circuit, i: usize) -> Edge {
@@ -448,6 +530,52 @@ mod tests {
         let counts = Executor::with_config(&device, cfg).run(&sched);
         let p1 = counts.probability(1);
         assert!(p1 < 0.30, "excited population should decay, got {p1}");
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_to_run() {
+        let device = Device::line(3, 1);
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let sched = Executor::asap_schedule(&c, device.calibration());
+        // 1000 shots: deliberately not a multiple of the thread count.
+        let cfg = ExecutorConfig { shots: 1000, seed: 99, ..Default::default() };
+        let exec = Executor::with_config(&device, cfg);
+        let serial = exec.run(&sched);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(
+                serial,
+                exec.run_parallel(&sched, threads),
+                "thread count {threads} changed the counts"
+            );
+        }
+        // `0` = auto must also match.
+        assert_eq!(serial, exec.run_parallel(&sched, 0));
+    }
+
+    #[test]
+    fn run_parallel_handles_more_threads_than_shots() {
+        let device = Device::line(2, 0);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let sched = Executor::asap_schedule(&c, device.calibration());
+        let mut cfg = noiseless();
+        cfg.shots = 3;
+        let exec = Executor::with_config(&device, cfg);
+        let counts = exec.run_parallel(&sched, 64);
+        assert_eq!(counts.shots(), 3);
+        assert_eq!(counts, exec.run(&sched));
+    }
+
+    #[test]
+    fn shot_seeds_are_distinct_streams() {
+        // Adjacent shots and adjacent base seeds must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for shot in 0..64u64 {
+                assert!(seen.insert(shot_stream_seed(base, shot)));
+            }
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ mod tests {
             counts.record(1);
         }
         let loss = cross_entropy_loss(&p, &counts);
-        assert!(loss >= 0.0 && loss < 1e-9, "loss {loss}");
+        assert!((0.0..1e-9).contains(&loss), "loss {loss}");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Talking to the `xtalk serve` job service from Rust.
+//!
+//! Starts an in-process server on an ephemeral port (a real deployment
+//! would run `xtalk serve` separately and connect by address), submits a
+//! Bell circuit twice to show the characterization cache, drifts the
+//! calibration day, and reads the metrics.
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+
+use crosstalk_mitigation::serve::json::obj;
+use crosstalk_mitigation::serve::{Client, Json, ServeConfig, Server};
+
+const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+
+fn main() -> std::io::Result<()> {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(), // ephemeral port
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config)?;
+    println!("server on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr())?;
+
+    // A run job: schedule with XtalkSched, execute 1024 trajectories.
+    // Fixed seed => bit-identical counts on every invocation.
+    let resp = client.run_qasm(BELL, "poughkeepsie", "xtalk", 1024, 7)?;
+    println!("\nrun #1: {}", resp.dump());
+
+    // The same device/policy/seed again: the scheduler's characterization
+    // now comes from the cache ("cached":true in the response).
+    let resp = client.run_qasm(BELL, "poughkeepsie", "xtalk", 1024, 7)?;
+    println!("run #2 (cache hit): {}", resp.dump());
+
+    // Advance the simulated calibration day: the fleet drifts and the
+    // characterization cache is invalidated.
+    let epoch = client.advance_day()?;
+    let resp = client.run_qasm(BELL, "poughkeepsie", "xtalk", 1024, 7)?;
+    println!("run #3 (epoch {epoch}, cache invalidated): {}", resp.dump());
+
+    // A schedule-only request, with explicit options.
+    let resp = client.request(&obj([
+        ("type", "schedule".into()),
+        ("qasm", BELL.into()),
+        ("device", "boeblingen".into()),
+        ("scheduler", "xtalk".into()),
+        ("omega", 0.5.into()),
+    ]))?;
+    println!("\nschedule: {}", resp.dump());
+
+    let stats = client.stats()?;
+    println!("\nstats: {}", stats.dump());
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+
+    client.shutdown()?;
+    println!("\n{}", server.join());
+    Ok(())
+}

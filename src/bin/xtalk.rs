@@ -16,7 +16,7 @@ use crosstalk_mitigation::charac::policy::TimeModel;
 use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
 use crosstalk_mitigation::core::layout::route_with_greedy_layout;
 use crosstalk_mitigation::core::optimize::fuse_single_qubit_gates;
-use crosstalk_mitigation::core::pipeline::{run_scheduled, swap_bell_error};
+use crosstalk_mitigation::core::pipeline::{run_scheduled_threads, swap_bell_error};
 use crosstalk_mitigation::core::sched::check_hardware_compliant;
 use crosstalk_mitigation::core::transpile::lower_to_native;
 use crosstalk_mitigation::core::{
@@ -24,7 +24,9 @@ use crosstalk_mitigation::core::{
 };
 use crosstalk_mitigation::device::Device;
 use crosstalk_mitigation::ir::{qasm, Circuit};
+use crosstalk_mitigation::serve::{Client, Json, ServeConfig, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +41,8 @@ fn main() -> ExitCode {
         "schedule" => cmd_schedule(rest),
         "run" => cmd_run(rest),
         "swap-demo" => cmd_swap_demo(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -61,9 +65,13 @@ USAGE:
     xtalk devices
     xtalk characterize --device <name> [--policy all|onehop|binpacked] [--seqs N] [--shots N] [--seed N]
     xtalk schedule <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [-o <out.qasm>]
-    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N]
+    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N]
     xtalk swap-demo --device <name> --from A --to B [--shots N]
+    xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N]
+    xtalk submit <type> [input.qasm] [--addr HOST:PORT] [--device <name>] [--scheduler S] [--policy P]
+                 [--shots N] [--seed N] [--threads N] [--omega W] [--from A --to B] [--ms N]
 
+SUBMIT TYPES: ping, stats, shutdown, advance_day, sleep, characterize, schedule, run, swap_demo
 DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -255,9 +263,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let scheduler = scheduler_from(&flags)?;
     let shots = flags.get_parse("shots", 2048u64)?;
     let seed = flags.get_parse("seed", 7u64)?;
+    let threads = flags.get_parse("threads", 0usize)?;
 
     let sched = scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
-    let counts = run_scheduled(&device, &sched, shots, seed);
+    let counts = run_scheduled_threads(&device, &sched, shots, seed, threads);
     println!(
         "{} | scheduler {} | makespan {} ns | {shots} shots",
         device.name(),
@@ -296,4 +305,79 @@ fn cmd_swap_demo(args: &[String]) -> Result<(), String> {
         println!("{:<14} {:>12.4} {:>14}", s.name(), out.error_rate, out.duration_ns);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = flags.get_parse("workers", config.workers)?;
+    config.queue_cap = flags.get_parse("queue", config.queue_cap)?;
+    let timeout_ms: u64 = flags.get_parse("timeout-ms", config.job_timeout.as_millis() as u64)?;
+    config.job_timeout = Duration::from_millis(timeout_ms.max(1));
+    config.device_seed = flags.get_parse("device-seed", config.device_seed)?;
+
+    let workers = config.effective_workers();
+    let server = Server::start(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!(
+        "xtalk serve listening on {} ({} workers); stop with `xtalk submit shutdown --addr {}`",
+        server.local_addr(),
+        workers,
+        server.local_addr()
+    );
+    // Runs until a client sends `{"type":"shutdown"}`.
+    let summary = server.join();
+    println!("{summary}");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kind = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("submit needs a request type (e.g. `xtalk submit run circuit.qasm`)")?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+
+    let mut fields: Vec<(&str, Json)> = vec![("type", kind.into())];
+    if let Some(path) = flags.positional.get(1) {
+        let qasm = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        fields.push(("qasm", qasm.into()));
+    }
+    // Forward every recognised option verbatim; the server applies its
+    // own defaults for anything omitted.
+    for key in ["device", "scheduler", "policy"] {
+        if let Some(v) = flags.get(key) {
+            fields.push((key, v.into()));
+        }
+    }
+    for key in ["shots", "seed", "threads", "seqs", "from", "to", "ms"] {
+        if let Some(v) = flags.get(key) {
+            let n: u64 = v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`"))?;
+            fields.push((key, n.into()));
+        }
+    }
+    if let Some(v) = flags.get("omega") {
+        let w: f64 = v.parse().map_err(|_| format!("--omega: cannot parse `{v}`"))?;
+        fields.push(("omega", w.into()));
+    }
+    let request = Json::Obj(
+        fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    );
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client.request(&request).map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", response.dump());
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed")
+            .to_string())
+    }
 }

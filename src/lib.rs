@@ -15,6 +15,9 @@
 //! * [`charac`] — fast crosstalk characterization (paper Section 5).
 //! * [`core`] — the crosstalk-adaptive scheduler and baselines
 //!   (paper Sections 6–7).
+//! * [`serve`] — a multi-threaded TCP job service wrapping the
+//!   characterize → schedule → run pipeline (line-delimited JSON,
+//!   bounded worker pool, drift-aware characterization cache).
 //!
 //! # Quickstart
 //!
@@ -40,5 +43,6 @@ pub use xtalk_clifford as clifford;
 pub use xtalk_core as core;
 pub use xtalk_device as device;
 pub use xtalk_ir as ir;
+pub use xtalk_serve as serve;
 pub use xtalk_sim as sim;
 pub use xtalk_smt as smt;

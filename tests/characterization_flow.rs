@@ -94,13 +94,16 @@ fn daily_recharacterization_tracks_drift() {
 
 #[test]
 fn conditional_estimates_scale_with_planted_factor() {
-    // The measured conditional of the 11x pair exceeds that of a ~4.5x
-    // pair on the same device.
+    // The measured conditional of the 11x pair exceeds that of the 6.5x
+    // pair on the same device. The 11x conditional decays at ~0.165 per
+    // Clifford, so long sequences sit on the noise floor and bias the
+    // fit; sample short lengths where the decay is still resolvable.
     let device = Device::poughkeepsie(7);
+    let config = RbConfig { lengths: vec![1, 2, 4, 8, 12], ..rb_config() };
     let (charac, _) = characterize(
         &device,
         &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
-        &rb_config(),
+        &config,
         &TimeModel::default(),
     );
     let big = charac
@@ -115,5 +118,5 @@ fn conditional_estimates_scale_with_planted_factor() {
             crosstalk_mitigation::device::Edge::new(11, 12),
         )
         .unwrap();
-    assert!(big > small, "11x pair ({big}) should read above 4.5x pair ({small})");
+    assert!(big > small, "11x pair ({big}) should read above 6.5x pair ({small})");
 }

@@ -2,7 +2,7 @@
 //! a tableau is just a compressed description of the same unitary.
 
 use crosstalk_mitigation::clifford::{group, random, CliffordTableau};
-use crosstalk_mitigation::ir::{Circuit, Gate};
+use crosstalk_mitigation::ir::Gate;
 use crosstalk_mitigation::sim::StateVector;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
