@@ -13,4 +13,21 @@ cargo test -q --workspace
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== observability suites =="
+# The toggle is process-global, so these live in dedicated test binaries:
+# determinism with profiling ON, overhead budget with profiling OFF.
+cargo test -q -p xtalk-obs
+cargo test -q -p xtalk-sim --test determinism_profile
+cargo test -q -p xtalk-sim --test obs_overhead
+cargo test -q -p xtalk-serve --test json_props
+cargo test -q -p xtalk-charac --test fit_regression
+
+echo "== xtalk profile smoke =="
+# End-to-end: the profiled pipeline must emit a snapshot that parses as
+# JSON and covers every instrumented stage.
+snapshot="$(mktemp)"
+target/release/xtalk profile fig5 --seed 3 --shots 128 --threads 2 > "$snapshot"
+target/release/xtalk profile-check "$snapshot"
+rm -f "$snapshot"
+
 echo "ci: all green"

@@ -155,6 +155,7 @@ pub fn characterize(
     config: &RbConfig,
     time_model: &TimeModel,
 ) -> (Characterization, CharacterizationReport) {
+    let _span = xtalk_obs::span("charac.characterize");
     let plan = policy.experiments(device.topology(), config.seed);
     let mut charac = Characterization::new();
     let edge_bins = crate::binpack::pack_edges(
@@ -164,7 +165,13 @@ pub fn characterize(
         50,
         config.seed,
     );
+    // One RB circuit per (length, sequence) per bin; SRB runs the same
+    // grid on each pair's two edges plus the simultaneous variant.
+    let circuits_per_bin = (config.lengths.len() * config.seqs_per_length) as u64;
     for bin in &edge_bins {
+        let _bin_span = xtalk_obs::span("charac.rb_bin");
+        xtalk_obs::counter!("charac.rb.circuits", circuits_per_bin);
+        xtalk_obs::counter!("charac.rb.shots", circuits_per_bin * config.shots);
         for (e, rate) in crate::srb::run_rb_bin(device, bin, config) {
             charac.set_independent(e, rate);
         }
@@ -172,6 +179,10 @@ pub fn characterize(
 
     let mut num_pairs = 0;
     for bin in &plan {
+        let _bin_span = xtalk_obs::span("charac.srb_bin");
+        xtalk_obs::counter!("charac.srb.pairs", bin.len() as u64);
+        xtalk_obs::counter!("charac.srb.circuits", circuits_per_bin);
+        xtalk_obs::counter!("charac.srb.shots", circuits_per_bin * config.shots);
         num_pairs += bin.len();
         for out in run_srb_bin(device, bin, config) {
             charac.set_conditional(out.first, out.second, out.first_given_second);

@@ -1,0 +1,152 @@
+//! Regression suite for the RB decay fitter.
+//!
+//! Synthesizes survival curves `y = A·α^m + B` with known parameters —
+//! over a grid of decay rates, amplitudes and offsets, with and without
+//! shot noise — and asserts the fitter recovers them within tolerance.
+//! The degenerate shapes at the bottom (flat decay, two points,
+//! saturated high-error pairs) are the ones real characterization data
+//! produces when a pair is very good or very bad; the fitter must stay
+//! finite and sane on all of them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xtalk_charac::{error_per_clifford, fit_decay, fit_decay_bootstrap, fit_decay_fixed_offset};
+
+fn synth(lengths: &[usize], alpha: f64, a: f64, b: f64, noise: f64, seed: u64) -> Vec<(usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    lengths
+        .iter()
+        .map(|&m| {
+            let y = a * alpha.powi(m as i32) + b + noise * (rng.gen::<f64>() - 0.5);
+            (m, y)
+        })
+        .collect()
+}
+
+const LENGTHS: &[usize] = &[1, 2, 4, 8, 12, 16, 24, 32, 48, 64];
+
+#[test]
+fn parameter_grid_recovered_exactly_without_noise() {
+    // Decay rates spanning excellent to terrible gates, crossed with
+    // single- and two-qubit asymptotes.
+    for &alpha in &[0.999, 0.99, 0.95, 0.9, 0.8, 0.6, 0.4] {
+        for &(a, b) in &[(0.5, 0.5), (0.7, 0.25), (0.75, 0.25), (0.45, 0.5)] {
+            let data = synth(LENGTHS, alpha, a, b, 0.0, 0);
+            let fit = fit_decay(&data);
+            assert!(
+                (fit.alpha - alpha).abs() < 1e-4,
+                "alpha: got {} want {alpha} (a={a}, b={b})",
+                fit.alpha
+            );
+            assert!((fit.a - a).abs() < 1e-3, "a: got {} want {a}", fit.a);
+            assert!((fit.b - b).abs() < 1e-3, "b: got {} want {b}", fit.b);
+            assert!(fit.rmse < 1e-5, "rmse {} should be ~0 on exact data", fit.rmse);
+        }
+    }
+}
+
+#[test]
+fn shot_noise_grid_recovered_within_tolerance() {
+    // ~2% uniform noise, several seeds: recovery within a few percent.
+    for seed in 0..5u64 {
+        for &alpha in &[0.98, 0.93, 0.85] {
+            let data = synth(LENGTHS, alpha, 0.7, 0.25, 0.02, seed);
+            let fit = fit_decay(&data);
+            assert!(
+                (fit.alpha - alpha).abs() < 0.03,
+                "seed {seed}: alpha {} want {alpha}",
+                fit.alpha
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_offset_beats_free_fit_on_sparse_data() {
+    // Three short sequences, meaningful noise — the regime the
+    // characterization pipeline actually runs in (lengths [2,8,16],
+    // two seeds per length). The fixed-offset fit must stay close.
+    let data = synth(&[2, 8, 16], 0.94, 0.75, 0.25, 0.03, 7);
+    let fixed = fit_decay_fixed_offset(&data, 0.25);
+    assert!((fixed.alpha - 0.94).abs() < 0.05, "alpha {}", fixed.alpha);
+    assert!((fixed.b - 0.25).abs() < 1e-12, "offset must not move");
+}
+
+#[test]
+fn epc_matches_the_synthesized_decay() {
+    let data = synth(LENGTHS, 0.96, 0.75, 0.25, 0.0, 0);
+    let fit = fit_decay_fixed_offset(&data, 0.25);
+    let epc = error_per_clifford(fit.alpha, 2);
+    let expected = error_per_clifford(0.96, 2);
+    assert!((epc - expected).abs() < 1e-4, "epc {epc} want {expected}");
+}
+
+// --- Degenerate shapes -------------------------------------------------
+
+#[test]
+fn flat_decay_fits_without_blowup() {
+    // A "perfect" pair: survival never droops. Free and fixed fits must
+    // both predict the flat line and stay finite; alpha is unidentifiable
+    // (α≈1 or A≈0 are equally valid) so only predictions are asserted.
+    let data: Vec<(usize, f64)> = LENGTHS.iter().map(|&m| (m, 0.97)).collect();
+    for fit in [fit_decay(&data), fit_decay_fixed_offset(&data, 0.25)] {
+        assert!(fit.alpha.is_finite() && fit.a.is_finite() && fit.b.is_finite());
+        assert!((0.0..=1.0).contains(&fit.alpha), "alpha {} out of range", fit.alpha);
+        for &(m, y) in &data {
+            let pred = fit.a * fit.alpha.powi(m as i32) + fit.b;
+            assert!((pred - y).abs() < 5e-3, "flat fit mispredicts at m={m}: {pred}");
+        }
+    }
+}
+
+#[test]
+fn two_points_fixed_offset_is_exact() {
+    // The minimum the fixed-offset fitter accepts. Two exact points pin
+    // alpha once B is known.
+    let alpha = 0.9;
+    let data = synth(&[4, 16], alpha, 0.75, 0.25, 0.0, 0);
+    let fit = fit_decay_fixed_offset(&data, 0.25);
+    assert!((fit.alpha - alpha).abs() < 1e-3, "alpha {}", fit.alpha);
+    assert!(fit.rmse < 1e-6);
+}
+
+#[test]
+fn saturated_high_error_pair_hits_the_asymptote() {
+    // A terrible pair: by the first measured length the curve has fully
+    // decayed to the asymptote, so the data carries no slope at all.
+    // The fitter must not panic, must stay in range, and must predict
+    // the asymptote — this is what a crosstalk-dominated SRB curve with
+    // conditional error ~10x looks like at the lengths we can afford.
+    let data: Vec<(usize, f64)> = LENGTHS.iter().map(|&m| (m, 0.25)).collect();
+    let fit = fit_decay_fixed_offset(&data, 0.25);
+    assert!(fit.alpha.is_finite() && (0.0..=1.0).contains(&fit.alpha));
+    for &(m, _) in &data {
+        let pred = fit.a * fit.alpha.powi(m as i32) + fit.b;
+        assert!((pred - 0.25).abs() < 5e-3, "saturated fit mispredicts at m={m}: {pred}");
+    }
+    // EPC at the recovered alpha must not exceed the theoretical max for
+    // two qubits (alpha=0 → r = 3/4).
+    let epc = error_per_clifford(fit.alpha, 2);
+    assert!((0.0..=0.75).contains(&epc), "epc {epc} out of physical range");
+}
+
+#[test]
+fn near_saturated_pair_recovers_fast_decay() {
+    // Only the first point or two sit above the asymptote: alpha is
+    // barely identifiable but must come back small (fast decay), not
+    // clamped to 1.
+    let data = synth(&[1, 2, 4, 8, 16], 0.2, 0.75, 0.25, 0.0, 0);
+    let fit = fit_decay_fixed_offset(&data, 0.25);
+    assert!((fit.alpha - 0.2).abs() < 0.02, "alpha {} want 0.2", fit.alpha);
+}
+
+#[test]
+fn bootstrap_on_degenerate_data_stays_finite() {
+    // Bootstrap over a flat curve: residuals are all ~0, every resample
+    // refits the same flat line; sigma must be ~0 and finite, not NaN.
+    let data: Vec<(usize, f64)> = LENGTHS.iter().map(|&m| (m, 0.25)).collect();
+    let (fit, sigma) = fit_decay_bootstrap(&data, 0.25, 30, 11);
+    assert!(fit.alpha.is_finite());
+    assert!(sigma.is_finite(), "bootstrap sigma NaN on flat data");
+    assert!(sigma < 0.2, "sigma {sigma} absurdly large for noiseless flat data");
+}

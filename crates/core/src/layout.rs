@@ -98,6 +98,7 @@ impl Layout {
 /// most are placed on adjacent physical qubits (BFS growth from the
 /// highest-degree physical qubit).
 pub fn greedy_layout(circuit: &Circuit, topo: &Topology) -> Layout {
+    let _span = xtalk_obs::span("layout");
     let n_logical = circuit.num_qubits();
     assert!(n_logical <= topo.num_qubits(), "device too small for circuit");
 
@@ -195,6 +196,7 @@ pub struct RoutedCircuit {
 ///
 /// Panics if the circuit has more qubits than the device.
 pub fn route(circuit: &Circuit, topo: &Topology, layout: Layout) -> Result<RoutedCircuit, CoreError> {
+    let _span = xtalk_obs::span("routing");
     assert!(circuit.num_qubits() <= topo.num_qubits(), "device too small for circuit");
     assert_eq!(layout.num_logical(), circuit.num_qubits(), "layout width mismatch");
     let initial_layout = layout.clone();
@@ -250,6 +252,7 @@ pub fn route(circuit: &Circuit, topo: &Topology, layout: Layout) -> Result<Route
         }
     }
 
+    xtalk_obs::counter!("routing.swaps_inserted", swaps as u64);
     Ok(RoutedCircuit { circuit: out, initial_layout, final_layout: layout, swaps_inserted: swaps })
 }
 

@@ -75,11 +75,14 @@ pub fn swap_bell_error_threads(
     seed: u64,
     threads: usize,
 ) -> Result<SwapRunOutcome, CoreError> {
+    let _span = xtalk_obs::span("pipeline.swap_bell");
     let bench = crate::routing::swap_benchmark(device.topology(), a, b)?;
     let (qa, qb) = bench.bell_pair;
 
-    let cal_matrix =
-        CalibrationMatrix::measure(device, &[qa.raw(), qb.raw()], shots_per_basis.max(512), seed);
+    let cal_matrix = {
+        let _cal = xtalk_obs::span("readout_cal");
+        CalibrationMatrix::measure(device, &[qa.raw(), qb.raw()], shots_per_basis.max(512), seed)
+    };
 
     let mut duration = 0;
     let mut data = Vec::new();
@@ -88,13 +91,16 @@ pub fn swap_bell_error_threads(
     {
         let sched = scheduler.schedule(&circuit, ctx)?;
         duration = duration.max(sched.makespan());
-        let counts = run_scheduled_threads(
-            device,
-            &sched,
-            shots_per_basis,
-            seed ^ ((idx as u64 + 1) << 32),
-            threads,
-        );
+        let counts = {
+            let _exec = xtalk_obs::span("execute");
+            run_scheduled_threads(
+                device,
+                &sched,
+                shots_per_basis,
+                seed ^ ((idx as u64 + 1) << 32),
+                threads,
+            )
+        };
         data.push((setting, cal_matrix.mitigate(&counts)));
     }
     let rho = DensityMatrix2::from_expectations(&expectations_from_distributions(&data));

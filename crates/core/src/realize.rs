@@ -23,6 +23,7 @@ pub fn realize(
     ctx: &SchedulerContext,
     serializations: &[(usize, usize)],
 ) -> Result<ScheduledCircuit, CoreError> {
+    let _span = xtalk_obs::span("realize");
     let n = circuit.len();
     let durations: Vec<u64> = circuit
         .iter()

@@ -25,6 +25,7 @@ impl Scheduler for ParSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<ScheduledCircuit, CoreError> {
+        let _span = xtalk_obs::span("sched.par");
         check_hardware_compliant(circuit, ctx)?;
         realize(circuit, ctx, &[])
     }

@@ -25,6 +25,7 @@ impl Scheduler for SerialSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<ScheduledCircuit, CoreError> {
+        let _span = xtalk_obs::span("sched.serial");
         check_hardware_compliant(circuit, ctx)?;
         // Chain consecutive unitaries; measurements and barriers stay
         // governed by their data dependencies (and right-alignment).

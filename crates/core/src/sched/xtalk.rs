@@ -128,6 +128,7 @@ impl XtalkSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        let _span = xtalk_obs::span("sched.xtalk");
         check_hardware_compliant(circuit, ctx)?;
         let candidates: BTreeSet<(usize, usize)> =
             Self::candidate_pairs(circuit, ctx).into_iter().collect();
@@ -146,6 +147,8 @@ impl XtalkSched {
         let mut waived = BTreeSet::new();
         search.recurse(&mut serialized, &mut waived);
 
+        xtalk_obs::counter!("sched.xtalk.leaves", search.leaves);
+        xtalk_obs::counter!("sched.xtalk.candidate_pairs", candidates.len() as u64);
         let (cost, sched, serializations) =
             search.best.ok_or(CoreError::CyclicConstraints)?;
         let report = XtalkSchedReport {
@@ -170,6 +173,7 @@ impl XtalkSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        let _span = xtalk_obs::span("sched.xtalk_smt");
         check_hardware_compliant(circuit, ctx)?;
         let candidates = Self::candidate_pairs(circuit, ctx);
 

@@ -115,6 +115,29 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// A standalone bencher for use outside `Criterion` drivers (e.g.
+    /// asserting timing properties inside ordinary tests).
+    pub fn new(iters: u64) -> Self {
+        assert!(iters > 0, "need at least one iteration");
+        Bencher { iters: iters.max(1), elapsed: Duration::ZERO, min: Duration::MAX }
+    }
+
+    /// Total wall time of the last [`Bencher::iter`] run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Fastest single iteration of the last [`Bencher::iter`] run
+    /// (`Duration::MAX` if no loop ran yet).
+    pub fn min_time(&self) -> Duration {
+        self.min
+    }
+
+    /// Mean wall time per iteration of the last [`Bencher::iter`] run.
+    pub fn mean_time(&self) -> Duration {
+        self.elapsed / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX)
+    }
+
     /// Times `f`, called `iters` times.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One untimed warm-up call.
@@ -196,6 +219,16 @@ mod tests {
         });
         // warm-up + sample_size timed iterations
         assert_eq!(calls, 31);
+    }
+
+    #[test]
+    fn standalone_bencher_reports_timings() {
+        let mut b = Bencher::new(8);
+        b.iter(|| std::thread::sleep(Duration::from_micros(100)));
+        assert!(b.elapsed() >= Duration::from_micros(800));
+        assert!(b.min_time() >= Duration::from_micros(100));
+        assert!(b.mean_time() >= b.min_time());
+        assert!(b.elapsed() >= b.mean_time());
     }
 
     #[test]

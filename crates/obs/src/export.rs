@@ -1,0 +1,203 @@
+//! Stable text and JSON rendering of a metrics snapshot.
+
+use std::fmt::Write as _;
+
+/// Aggregated statistics of one span (all durations in nanoseconds).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SpanStat {
+    /// Hierarchical span path (`/`-separated).
+    pub name: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Total wall time across closes.
+    pub total_ns: u64,
+    /// Mean wall time per close.
+    pub mean_ns: u64,
+    /// Median (octave resolution).
+    pub p50_ns: u64,
+    /// 90th percentile (octave resolution).
+    pub p90_ns: u64,
+    /// 99th percentile (octave resolution).
+    pub p99_ns: u64,
+    /// Worst observed close.
+    pub max_ns: u64,
+}
+
+/// One named monotonic counter.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A point-in-time copy of every span and counter, sorted by name.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Snapshot {
+    /// Whether profiling was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Span statistics.
+    pub spans: Vec<SpanStat>,
+    /// Counter values.
+    pub counters: Vec<CounterStat>,
+}
+
+impl Snapshot {
+    /// Finds a span by exact path.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Finds a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Serializes to one line of JSON. The schema is stable:
+    ///
+    /// ```json
+    /// {"enabled":true,
+    ///  "spans":[{"name":"...","count":1,"total_ns":9,"mean_ns":9,
+    ///            "p50_ns":9,"p90_ns":9,"p99_ns":9,"max_ns":9}],
+    ///  "counters":[{"name":"...","value":3}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"enabled\":");
+        out.push_str(if self.enabled { "true" } else { "false" });
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&s.name, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                 \"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                s.count, s.total_ns, s.mean_ns, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns
+            );
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&c.name, &mut out);
+            let _ = write!(out, ",\"value\":{}}}", c.value);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders a human-readable table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "mean", "p50", "p90", "p99"
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                s.name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p90_ns),
+                fmt_ns(s.p99_ns),
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>8}", "counter", "value");
+            for c in &self.counters {
+                let _ = writeln!(out, "{:<44} {:>8}", c.name, c.value);
+            }
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            enabled: true,
+            spans: vec![SpanStat {
+                name: "a/b".into(),
+                count: 2,
+                total_ns: 3_000_000,
+                mean_ns: 1_500_000,
+                p50_ns: 1_500_000,
+                p90_ns: 1_500_000,
+                p99_ns: 1_500_000,
+                max_ns: 2_000_000,
+            }],
+            counters: vec![CounterStat { name: "n \"q\"".into(), value: 7 }],
+        }
+    }
+
+    #[test]
+    fn json_is_one_escaped_line() {
+        let j = sample().to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"enabled\":true,\"spans\":[{\"name\":\"a/b\""));
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.ends_with("\"value\":7}]}"));
+    }
+
+    #[test]
+    fn text_mentions_every_metric() {
+        let t = sample().to_text();
+        assert!(t.contains("a/b"));
+        assert!(t.contains("1.50ms"));
+        assert!(t.contains("n \"q\""));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_200), "1.20µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

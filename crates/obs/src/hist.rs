@@ -1,0 +1,166 @@
+//! Log-scale latency histogram with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: bucket `i` holds values whose
+/// `ilog2` is `i`, covering 1 ns .. ~584 years. More than enough for
+/// wall-clock spans.
+pub const BUCKETS: usize = 64;
+
+/// A histogram of `u64` samples (nanoseconds by convention) in
+/// power-of-two buckets, plus exact count/sum/min/max. Every update is a
+/// relaxed atomic, so recording never blocks and is safe from any thread.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` from the log buckets: the bucket
+    /// holding the `⌈q·n⌉`-th sample, represented by its midpoint and
+    /// clamped to the observed `[min, max]`. Resolution is one octave —
+    /// exactly what a profiling report needs, at 8 bytes per bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = 1u64 << i;
+                // Arithmetic midpoint of [2^i, 2^(i+1)).
+                let mid = lo + lo / 2;
+                return mid.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// Bucket index of a value: `ilog2(max(value, 1))`.
+fn bucket_of(value: u64) -> usize {
+    (63 - value.max(1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let h = Histogram::default();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.mean(), 25);
+    }
+
+    #[test]
+    fn quantiles_are_octave_accurate() {
+        let h = Histogram::default();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // p50 lands in the 1 µs octave, p99 in the 1 ms octave.
+        assert!((512..2048).contains(&p50), "p50 {p50}");
+        assert!((524_288..2_097_152).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        let h = Histogram::default();
+        h.record(100);
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.99), 100);
+    }
+}

@@ -1,0 +1,127 @@
+//! The global sharded metric registry.
+//!
+//! Metric names hash to one of [`SHARDS`] independently locked maps, so
+//! concurrent recorders only contend when their names collide on a
+//! shard. Each map entry is an `Arc` to an atomically-updated metric:
+//! the shard lock is held only for the name lookup, never while the
+//! metric itself is updated — "lock-free-ish".
+
+use crate::hist::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shard count; power of two so the hash folds cheaply.
+const SHARDS: usize = 16;
+
+/// One shard: counters and span histograms under independent locks.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+/// The process-wide registry.
+pub(crate) struct Registry {
+    shards: [Shard; SHARDS],
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry { shards: std::array::from_fn(|_| Shard::default()) })
+}
+
+/// FNV-1a; stable and dependency-free.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+impl Registry {
+    /// The counter registered under `name`, created on first use.
+    pub(crate) fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.shards[shard_of(name)].counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub(crate) fn hist(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.shards[shard_of(name)].hists.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Clears every metric.
+    pub(crate) fn reset(&self) {
+        for shard in &self.shards {
+            shard.counters.lock().unwrap().clear();
+            shard.hists.lock().unwrap().clear();
+        }
+    }
+
+    /// All counters, sorted by name.
+    pub(crate) fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (name, c) in shard.counters.lock().unwrap().iter() {
+                out.push((name.clone(), c.load(Ordering::Relaxed)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All histograms, sorted by name.
+    pub(crate) fn hists(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (name, h) in shard.hists.lock().unwrap().iter() {
+                out.push((name.clone(), h.clone()));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hists_are_shared_by_name() {
+        let r = Registry { shards: std::array::from_fn(|_| Shard::default()) };
+        r.counter("a").fetch_add(2, Ordering::Relaxed);
+        r.counter("a").fetch_add(3, Ordering::Relaxed);
+        r.hist("h").record(7);
+        assert_eq!(r.counters(), vec![("a".to_string(), 5)]);
+        assert_eq!(r.hists()[0].1.count(), 1);
+        r.reset();
+        assert!(r.counters().is_empty());
+        assert!(r.hists().is_empty());
+    }
+
+    #[test]
+    fn listing_is_sorted_across_shards() {
+        let r = Registry { shards: std::array::from_fn(|_| Shard::default()) };
+        for name in ["zebra", "alpha", "mid", "beta"] {
+            r.counter(name);
+        }
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "beta", "mid", "zebra"]);
+    }
+}

@@ -103,8 +103,18 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<WorkItem>>>, state: &Arc<ServeState>) {
             Ok(WorkItem::Stop) | Err(_) => return,
         };
         let start = Instant::now();
-        let response = catch_unwind(AssertUnwindSafe(|| jobs::handle(state, &job.request)))
-            .unwrap_or_else(|panic| err_response(format!("job panicked: {}", panic_text(&panic))));
+        let response = {
+            // Per-job span: formats the path only when profiling is on.
+            let _job_span = if xtalk_obs::enabled() {
+                Some(xtalk_obs::span(&format!("serve.job.{}", job.request.kind())))
+            } else {
+                None
+            };
+            catch_unwind(AssertUnwindSafe(|| jobs::handle(state, &job.request)))
+                .unwrap_or_else(|panic| {
+                    err_response(format!("job panicked: {}", panic_text(&panic)))
+                })
+        };
         let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
         state.metrics.job_finished(start.elapsed().as_micros() as u64, ok);
         let _ = job.reply.send(response);

@@ -44,6 +44,9 @@ impl Server {
         config.addr = local_addr.to_string();
         let workers = config.effective_workers();
         let queue_cap = config.queue_cap;
+        if config.profile {
+            xtalk_obs::set_enabled(true);
+        }
         let state = ServeState::new(config);
         let pool = Pool::new(workers, queue_cap, state.clone());
         let acceptor = {
@@ -154,6 +157,13 @@ fn dispatch(state: &Arc<ServeState>, tx: &SyncSender<WorkItem>, request: Request
                     pairs.insert(0, ("ok".to_string(), Json::Bool(true)));
                     pairs.push(("epoch".to_string(), state.epoch().into()));
                     pairs.push(("cache_entries".to_string(), state.cache.len().into()));
+                    if xtalk_obs::enabled() {
+                        // Round-trip through our own parser: the obs JSON
+                        // export is stable and line-oriented by design.
+                        if let Ok(profile) = Json::parse(&xtalk_obs::snapshot().to_json()) {
+                            pairs.push(("profile".to_string(), profile));
+                        }
+                    }
                 }
                 snapshot
             }

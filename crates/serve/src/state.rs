@@ -25,6 +25,9 @@ pub struct ServeConfig {
     pub job_timeout: Duration,
     /// Seed for the device fleet's day-0 calibration.
     pub device_seed: u64,
+    /// Enable the `xtalk-obs` profiling layer for the server process;
+    /// span/counter data is merged into the `stats` response.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +38,7 @@ impl Default for ServeConfig {
             queue_cap: 32,
             job_timeout: Duration::from_secs(120),
             device_seed: 7,
+            profile: false,
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Property tests for the hand-rolled JSON codec.
+//!
+//! Two families:
+//!
+//! * **Round trips** — any generated `Json` value survives
+//!   `dump -> parse` bit-for-bit (the writer emits Rust's shortest
+//!   float form, which `f64::from_str` recovers exactly), the dump is a
+//!   single line (the framing invariant), and dumping is idempotent.
+//! * **Malformed input** — truncated frames and a corpus of hostile
+//!   documents must return `Err`, never panic. The parser is the first
+//!   thing untrusted network bytes hit, so "errors cleanly" is a
+//!   security property, not a nicety.
+
+use proptest::prelude::*;
+use rand::Rng;
+use xtalk_serve::json::JsonError;
+use xtalk_serve::Json;
+
+/// Generates an arbitrary `Json` value, depth-limited so documents stay
+/// well inside the parser's nesting bound.
+#[derive(Clone, Copy, Debug)]
+struct ArbJson {
+    max_depth: usize,
+}
+
+impl proptest::strategy::Strategy for ArbJson {
+    type Value = Json;
+
+    fn generate(&self, rng: &mut TestRng) -> Json {
+        gen_json(rng, self.max_depth)
+    }
+}
+
+fn gen_json(rng: &mut TestRng, depth: usize) -> Json {
+    // Leaves only at the depth floor; containers otherwise allowed.
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 1),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..4);
+            Json::Arr((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            Json::Obj((0..n).map(|_| (gen_string(rng), gen_json(rng, depth - 1))).collect())
+        }
+    }
+}
+
+fn gen_number(rng: &mut TestRng) -> f64 {
+    match rng.gen_range(0u32..4) {
+        // Small and large integers (within exact-f64 range).
+        0 => rng.gen_range(-1_000i64..1_000) as f64,
+        1 => rng.gen_range(-9_007_199_254_740_992i64..9_007_199_254_740_992) as f64,
+        // Dyadic fractions (exact in binary, readable in failures).
+        2 => rng.gen_range(-1_000_000i64..1_000_000) as f64 / 64.0,
+        // Anything finite.
+        _ => rng.gen_range(-1e30f64..1e30),
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let n = rng.gen_range(0usize..12);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..6) {
+            0 => char::from(rng.gen_range(0x20u32..0x7f) as u8), // printable ASCII
+            1 => ['"', '\\', '/', '\n', '\r', '\t'][rng.gen_range(0usize..6)],
+            2 => char::from(rng.gen_range(0u32..0x20) as u8), // control chars
+            3 => char::from_u32(rng.gen_range(0xa0u32..0x2000)).unwrap_or('x'),
+            4 => char::from_u32(rng.gen_range(0x2600u32..0x27c0)).unwrap_or('x'), // symbols
+            _ => char::from_u32(rng.gen_range(0x1_f300u32..0x1_f600)).unwrap_or('x'), // emoji
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dump_then_parse_roundtrips(v in ArbJson { max_depth: 4 }) {
+        let text = v.dump();
+        prop_assert!(!text.contains('\n'), "dump broke the one-line framing: {text:?}");
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "reparse failed on {text:?}: {back:?}");
+        prop_assert_eq!(back.unwrap(), v);
+    }
+
+    #[test]
+    fn dump_is_idempotent(v in ArbJson { max_depth: 3 }) {
+        let once = v.dump();
+        let twice = Json::parse(&once).unwrap().dump();
+        prop_assert_eq!(&once, &twice, "dump not canonical");
+    }
+
+    #[test]
+    fn escape_heavy_strings_roundtrip(s in ArbJson { max_depth: 0 }.prop_map(|v| {
+        // Reuse the leaf generator but force the string variant.
+        match v { Json::Str(s) => s, other => other.dump() }
+    })) {
+        let v = Json::Str(s.clone());
+        prop_assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(
+        v in ArbJson { max_depth: 3 },
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // Wrap in an object so the document only balances at its final
+        // byte: every strict prefix is then guaranteed-invalid, and the
+        // parser must say so via Err — not panic, not hang.
+        let text = Json::Obj(vec![("k".to_string(), v)]).dump();
+        let mut cut = (text.len() as f64 * cut_frac) as usize;
+        while cut < text.len() && !text.is_char_boundary(cut) {
+            cut += 1;
+        }
+        if cut < text.len() {
+            let res: Result<Json, JsonError> = Json::parse(&text[..cut]);
+            prop_assert!(res.is_err(), "accepted truncated frame {:?}", &text[..cut]);
+        }
+    }
+
+    #[test]
+    fn mutated_frames_never_panic(
+        v in ArbJson { max_depth: 2 },
+        pos_frac in 0.0f64..1.0,
+        junk in 0u32..128,
+    ) {
+        // Splice one arbitrary ASCII byte into a valid document. The
+        // result may or may not parse — either way the parser must
+        // return, not panic.
+        let mut text = v.dump();
+        let mut pos = (text.len() as f64 * pos_frac) as usize;
+        while pos < text.len() && !text.is_char_boundary(pos) {
+            pos += 1;
+        }
+        text.insert(pos.min(text.len()), char::from(junk as u8));
+        let _ = Json::parse(&text); // must not panic
+    }
+}
+
+/// Hand-picked hostile frames: every one must error, none may panic.
+#[test]
+fn malformed_corpus_errors_cleanly() {
+    let corpus: &[&str] = &[
+        "",
+        " ",
+        "{",
+        "}",
+        "[",
+        "]",
+        "{]",
+        "[}",
+        "[1,]",
+        "[,1]",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{:1}",
+        "{1:2}",
+        "{\"a\" 1}",
+        "tru",
+        "truee",
+        "nul",
+        "nulll",
+        "falsy",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"\\u12\"",
+        "\"\\ud800\"",
+        "\"\\ud800x\"",
+        "\"\\ud800\\u0041\"",
+        "\"\\udc00\"",
+        "\u{1}",
+        "\"raw \u{1} control\"",
+        "1 2",
+        "[1] []",
+        "--1",
+        "+1",
+        "1..2",
+        "1e",
+        "NaN",
+        "Infinity",
+        "-",
+        ".5",
+        "{\"a\":1}}",
+        "[[[" ,
+        "\\",
+    ];
+    for bad in corpus {
+        assert!(Json::parse(bad).is_err(), "accepted hostile frame {bad:?}");
+    }
+    // Nesting bomb: far past MAX_DEPTH, must be rejected without
+    // exhausting the stack.
+    let bomb = "[".repeat(100_000);
+    assert!(Json::parse(&bomb).is_err());
+    let balanced_bomb = "[".repeat(5_000) + &"]".repeat(5_000);
+    assert!(Json::parse(&balanced_bomb).is_err());
+}

@@ -134,6 +134,7 @@ impl<'a> Executor<'a> {
     /// if a component exceeds the statevector limit, or if a worker thread
     /// panics.
     pub fn run_parallel(&self, sched: &ScheduledCircuit, threads: usize) -> Counts {
+        let _span = xtalk_obs::span("sim.run_parallel");
         sched.validate().expect("executor requires a valid schedule");
         let prep = self.prepare(sched);
         let shots = self.config.shots;
@@ -145,7 +146,7 @@ impl<'a> Executor<'a> {
         .max(1);
 
         if threads == 1 {
-            return self.run_shot_range(sched, &prep, 0, shots);
+            return self.run_shot_batch(sched, &prep, 0, shots, 0);
         }
 
         let chunk = shots.div_ceil(threads as u64);
@@ -155,7 +156,7 @@ impl<'a> Executor<'a> {
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(shots);
-                    scope.spawn(move || self.run_shot_range(sched, prep, lo, hi))
+                    scope.spawn(move || self.run_shot_batch(sched, prep, lo, hi, t as usize))
                 })
                 .collect();
             let mut counts = Counts::new(sched.circuit().num_clbits().max(1));
@@ -164,6 +165,27 @@ impl<'a> Executor<'a> {
             }
             counts
         })
+    }
+
+    /// [`Executor::run_shot_range`] plus per-batch observability: batch
+    /// wall time and per-thread shot counts. Metrics never feed back into
+    /// the trajectory RNG streams, so parallel results stay bit-identical
+    /// whether profiling is on or off.
+    fn run_shot_batch(
+        &self,
+        sched: &ScheduledCircuit,
+        prep: &Prepared,
+        lo: u64,
+        hi: u64,
+        thread_idx: usize,
+    ) -> Counts {
+        let _batch = xtalk_obs::span("sim.shot_batch");
+        let counts = self.run_shot_range(sched, prep, lo, hi);
+        if xtalk_obs::enabled() {
+            xtalk_obs::counter_add("sim.shots", hi - lo);
+            xtalk_obs::counter_add(&format!("sim.thread{thread_idx}.shots"), hi - lo);
+        }
+        counts
     }
 
     /// Precomputed schedule analysis shared by every trajectory.

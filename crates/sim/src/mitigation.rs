@@ -80,6 +80,12 @@ impl CalibrationMatrix {
     /// Applies mitigation: solves `M · x = observed` for the underlying
     /// distribution `x`, clips negatives and renormalizes.
     ///
+    /// Degenerate inputs are handled without NaNs: zero-shot counts
+    /// mitigate to the uniform distribution, and if clipping wipes out
+    /// the solved mass (possible when the observed distribution puts all
+    /// weight on outcomes the matrix considers near-impossible) the
+    /// observed distribution is returned unchanged rather than a 0/0.
+    ///
     /// # Panics
     ///
     /// Panics if the counts' bit width disagrees with the matrix or the
@@ -87,11 +93,21 @@ impl CalibrationMatrix {
     /// < 50 %).
     pub fn mitigate(&self, counts: &Counts) -> Vec<f64> {
         assert_eq!(counts.num_bits(), self.k, "bit width mismatch");
+        let n = 1usize << self.k;
+        if counts.shots() == 0 {
+            // `distribution()` would be 0/0 = NaN in every entry.
+            return vec![1.0 / n as f64; n];
+        }
         let observed = counts.distribution();
         let x = solve(&self.m, &observed);
-        let mut x: Vec<f64> = x.into_iter().map(|v| v.max(0.0)).collect();
+        // Clip negatives; a non-finite entry (pathological matrix) is
+        // treated as no mass rather than poisoning the normalizer.
+        let mut x: Vec<f64> =
+            x.into_iter().map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 }).collect();
         let s: f64 = x.iter().sum();
-        assert!(s > 0.0, "mitigation produced an empty distribution");
+        if s <= 1e-12 {
+            return observed;
+        }
         for v in &mut x {
             *v /= s;
         }
@@ -210,5 +226,55 @@ mod tests {
     fn width_mismatch_rejected() {
         let m = CalibrationMatrix::from_flip_probabilities(&[0.1]);
         m.mitigate(&Counts::new(2));
+    }
+
+    #[test]
+    fn zero_shot_counts_mitigate_to_uniform() {
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.05, 0.05]);
+        let mitigated = m.mitigate(&Counts::new(2));
+        assert_eq!(mitigated.len(), 4);
+        for v in &mitigated {
+            assert!(v.is_finite(), "NaN leaked from zero-shot mitigation");
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_probability_outcomes_stay_finite_and_normalized() {
+        // All mass on one outcome with strong asymmetric flips: the solved
+        // vector has large negative entries on the zero-probability
+        // outcomes, which clipping used to be able to zero out entirely.
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.45, 0.45]);
+        let mut counts = Counts::new(2);
+        counts.record_many(0b00, 1000);
+        let mitigated = m.mitigate(&counts);
+        let sum: f64 = mitigated.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "not normalized: {sum}");
+        for v in &mitigated {
+            assert!(v.is_finite() && *v >= 0.0, "bad entry {v}");
+        }
+        // The observed outcome must remain the most likely one (at 45%
+        // flips the near-singular inversion legitimately spreads mass,
+        // but it must not invert the ranking).
+        let max = mitigated.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((mitigated[0] - max).abs() < 1e-12, "00 no longer argmax: {mitigated:?}");
+    }
+
+    #[test]
+    fn one_hot_counts_on_every_outcome_are_safe() {
+        // Sweep every single-outcome distribution: none may panic or
+        // produce NaN, even with near-pathological flip rates.
+        let m = CalibrationMatrix::from_flip_probabilities(&[0.49, 0.49, 0.49]);
+        for outcome in 0..8u64 {
+            let mut counts = Counts::new(3);
+            counts.record_many(outcome, 17);
+            let mitigated = m.mitigate(&counts);
+            let sum: f64 = mitigated.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "outcome {outcome}: sum {sum}");
+            assert!(
+                mitigated.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "outcome {outcome}: {mitigated:?}"
+            );
+        }
     }
 }

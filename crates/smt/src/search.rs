@@ -66,6 +66,8 @@ struct SearchState<'a> {
     dl: DifferenceLogic,
     best: Option<Solution>,
     leaves: u64,
+    decisions: u64,
+    backtracks: u64,
 }
 
 impl Optimizer {
@@ -83,6 +85,7 @@ impl Optimizer {
     /// Minimizes `obj`; returns `None` iff no assignment satisfies the
     /// constraints (within the leaf budget).
     pub fn minimize(&self, obj: &dyn Objective) -> Option<Solution> {
+        let _span = xtalk_obs::span("smt.solve");
         let mut dl = DifferenceLogic::new(self.model.n_real);
         for c in &self.model.hard {
             dl.add(*c);
@@ -98,8 +101,13 @@ impl Optimizer {
             dl,
             best: None,
             leaves: 0,
+            decisions: 0,
+            backtracks: 0,
         };
         st.search();
+        xtalk_obs::counter!("smt.leaves", st.leaves);
+        xtalk_obs::counter!("smt.decisions", st.decisions);
+        xtalk_obs::counter!("smt.backtracks", st.backtracks);
         let leaves = st.leaves;
         st.best.map(|mut s| {
             s.leaves = leaves;
@@ -220,11 +228,16 @@ impl<'a> SearchState<'a> {
         // Branch: try true first (serialization decisions tend to pay),
         // then false.
         for value in [true, false] {
+            self.decisions += 1;
             if let Some(trail) = self.assign(BoolVar(next), value) {
                 if !value || self.theory_ok() {
                     self.search();
+                } else {
+                    self.backtracks += 1;
                 }
                 self.undo(&trail);
+            } else {
+                self.backtracks += 1;
             }
         }
     }

@@ -22,8 +22,10 @@ use crosstalk_mitigation::core::transpile::lower_to_native;
 use crosstalk_mitigation::core::{
     to_barriered_circuit, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
 };
+use crosstalk_mitigation::core::pipeline::swap_bell_error_threads;
 use crosstalk_mitigation::device::Device;
 use crosstalk_mitigation::ir::{qasm, Circuit};
+use crosstalk_mitigation::obs;
 use crosstalk_mitigation::serve::{Client, Json, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
         "swap-demo" => cmd_swap_demo(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "profile" => cmd_profile(rest),
+        "profile-check" => cmd_profile_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -65,9 +69,11 @@ USAGE:
     xtalk devices
     xtalk characterize --device <name> [--policy all|onehop|binpacked] [--seqs N] [--shots N] [--seed N]
     xtalk schedule <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [-o <out.qasm>]
-    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N]
+    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N] [--profile]
     xtalk swap-demo --device <name> --from A --to B [--shots N]
-    xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N]
+    xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N] [--profile]
+    xtalk profile <fig5|charac> [--shots N] [--seed N] [--threads N] [--text]
+    xtalk profile-check <snapshot.json>
     xtalk submit <type> [input.qasm] [--addr HOST:PORT] [--device <name>] [--scheduler S] [--policy P]
                  [--shots N] [--seed N] [--threads N] [--omega W] [--from A --to B] [--ms N]
 
@@ -75,10 +81,14 @@ SUBMIT TYPES: ping, stats, shutdown, advance_day, sleep, characterize, schedule,
 DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// Flags listed in [`BOOL_FLAGS`] take no value.
 struct Flags {
     positional: Vec<String>,
     pairs: Vec<(String, String)>,
 }
+
+/// Flags that are switches rather than `--key value` pairs.
+const BOOL_FLAGS: &[&str] = &["profile", "text"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -87,6 +97,10 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    pairs.push((key.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -103,6 +117,10 @@ impl Flags {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -256,6 +274,9 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.has("profile") {
+        obs::set_enabled(true);
+    }
     let path = flags.positional.first().ok_or("run needs an input .qasm file")?;
     let device = device_from(&flags)?;
     let ctx = SchedulerContext::from_ground_truth(&device);
@@ -281,6 +302,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             count as f64 / shots as f64,
             width = counts.num_bits()
         );
+    }
+    if flags.has("profile") {
+        print!("{}", obs::snapshot().to_text());
     }
     Ok(())
 }
@@ -318,6 +342,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let timeout_ms: u64 = flags.get_parse("timeout-ms", config.job_timeout.as_millis() as u64)?;
     config.job_timeout = Duration::from_millis(timeout_ms.max(1));
     config.device_seed = flags.get_parse("device-seed", config.device_seed)?;
+    config.profile = flags.has("profile");
 
     let workers = config.effective_workers();
     let server = Server::start(config).map_err(|e| format!("cannot bind: {e}"))?;
@@ -330,6 +355,129 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Runs until a client sends `{"type":"shutdown"}`.
     let summary = server.join();
     println!("{summary}");
+    Ok(())
+}
+
+/// Runs a fixed profiling workload with the obs layer enabled and emits
+/// the snapshot as JSON (or a text table with `--text`). The `fig5`
+/// bench exercises every pipeline stage: characterization (per-bin SRB
+/// cost), layout + routing, crosstalk-adaptive scheduling, and the
+/// parallel simulator — so the export carries per-stage spans suitable
+/// for `BENCH_*.json` trajectories.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let bench = flags.positional.first().map(String::as_str).unwrap_or("fig5");
+    let seed = flags.get_parse("seed", 7u64)?;
+    let shots = flags.get_parse("shots", 256u64)?;
+    let threads = flags.get_parse("threads", 2usize)?;
+
+    obs::set_enabled(true);
+    obs::reset();
+    match bench {
+        "fig5" => {
+            let device = Device::poughkeepsie(seed);
+            let ctx = SchedulerContext::from_ground_truth(&device);
+
+            // Characterization cost on a small planted-crosstalk line,
+            // keeping the bench fast while exercising every bin kind.
+            let charac_device = Device::line(6, seed.wrapping_add(2));
+            let rb = RbConfig {
+                lengths: vec![2, 8, 16],
+                seqs_per_length: 2,
+                shots: 64,
+                seed,
+            };
+            let _ = characterize(
+                &charac_device,
+                &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+                &rb,
+                &TimeModel::default(),
+            );
+
+            // Transpile: greedy layout + SWAP routing of a hot-region GHZ.
+            let circuit = crosstalk_mitigation::core::bench_circuits::ghz(
+                20,
+                &[5, 10, 11, 12, 15],
+            );
+            let routed = route_with_greedy_layout(&circuit, device.topology())
+                .map_err(|e| format!("routing failed: {e}"))?;
+
+            // Schedule (lazy branch-and-bound) + simulate in parallel.
+            let sched = XtalkSched::new(0.5)
+                .schedule(&routed.circuit, &ctx)
+                .map_err(|e| e.to_string())?;
+            let _ = run_scheduled_threads(&device, &sched, shots, seed, threads);
+
+            // The full Figure-5 style metric across the 11x hot spot.
+            let _ = swap_bell_error_threads(
+                &device,
+                &ctx,
+                &XtalkSched::new(0.5),
+                0,
+                13,
+                shots.min(128),
+                seed,
+                threads,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        "charac" => {
+            let device = Device::poughkeepsie(seed);
+            let rb = RbConfig {
+                seqs_per_length: 2,
+                shots: shots.clamp(16, 128),
+                seed,
+                ..Default::default()
+            };
+            let _ = characterize(
+                &device,
+                &CharacterizationPolicy::OneHopBinPacked { k_hops: 2 },
+                &rb,
+                &TimeModel::default(),
+            );
+        }
+        other => return Err(format!("unknown profile bench `{other}` (try fig5, charac)")),
+    }
+    let snap = obs::snapshot();
+    if flags.has("text") {
+        print!("{}", snap.to_text());
+    } else {
+        println!("{}", snap.to_json());
+    }
+    Ok(())
+}
+
+/// Validates a `xtalk profile` JSON export: it must parse with the
+/// server's own JSON codec and carry spans for every pipeline stage.
+/// Used by CI as a smoke check.
+fn cmd_profile_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("profile-check needs a JSON file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(text.trim()).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if json.get("enabled").and_then(Json::as_bool) != Some(true) {
+        return Err("profile snapshot was taken with profiling disabled".to_string());
+    }
+    let spans = json
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing `spans` array")?;
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for required in ["layout", "routing", "sched.", "realize", "sim.run_parallel", "charac."] {
+        if !names.iter().any(|n| n.contains(required)) {
+            return Err(format!("no span matching `{required}` in {names:?}"));
+        }
+    }
+    let counters = json
+        .get("counters")
+        .and_then(Json::as_arr)
+        .ok_or("missing `counters` array")?;
+    if counters.is_empty() {
+        return Err("no counters recorded".to_string());
+    }
+    println!("profile ok: {} spans, {} counters", names.len(), counters.len());
     Ok(())
 }
 

@@ -18,6 +18,8 @@
 //! * [`serve`] — a multi-threaded TCP job service wrapping the
 //!   characterize → schedule → run pipeline (line-delimited JSON,
 //!   bounded worker pool, drift-aware characterization cache).
+//! * [`obs`] — opt-in tracing spans, counters and latency histograms
+//!   used by `xtalk run --profile` / `xtalk profile`.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use xtalk_clifford as clifford;
 pub use xtalk_core as core;
 pub use xtalk_device as device;
 pub use xtalk_ir as ir;
+pub use xtalk_obs as obs;
 pub use xtalk_serve as serve;
 pub use xtalk_sim as sim;
 pub use xtalk_smt as smt;
