@@ -30,4 +30,33 @@ target/release/xtalk profile fig5 --seed 3 --shots 128 --threads 2 > "$snapshot"
 target/release/xtalk profile-check "$snapshot"
 rm -f "$snapshot"
 
+echo "== chaos suite =="
+# Fault plans are process-global; the suite serializes internally.
+cargo test -q -p xtalk-serve --test chaos
+
+echo "== xtalk serve --faults smoke =="
+# End-to-end chaos: a server with 2% worker deaths and 5% torn codec
+# reads (fixed seed — deterministic) must answer every retried submit
+# and shut down with a clean summary.
+serve_log="$(mktemp)"
+target/release/xtalk serve --addr 127.0.0.1:0 --workers 2 \
+    --faults "pool.job:panic:0.02,codec.read:err:0.05" --fault-seed 42 \
+    > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$serve_log" | head -n1)"
+[ -n "$addr" ] || { echo "serve did not report an address"; cat "$serve_log"; exit 1; }
+for i in 1 2 3 4 5 6; do
+    target/release/xtalk submit sleep --ms 5 --addr "$addr" \
+        --deadline-ms 20000 --retries 15 --retry-seed "$i" > /dev/null
+done
+target/release/xtalk submit stats --addr "$addr" --deadline-ms 20000 --retries 15 > /dev/null
+target/release/xtalk submit shutdown --addr "$addr" --deadline-ms 20000 --retries 15 > /dev/null
+wait "$serve_pid"
+grep -q "served .* requests" "$serve_log" || { echo "no shutdown summary"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log"
+
 echo "ci: all green"

@@ -1,0 +1,413 @@
+//! `xtalk-fault` — deterministic fault injection for chaos testing.
+//!
+//! The paper's workflow assumes characterization re-runs every calibration
+//! day because crosstalk drifts (§5); a production service built on it
+//! must therefore survive characterization failures, worker deaths and
+//! flaky I/O without dropping jobs. This crate makes those failure paths
+//! *testable*: code under test declares named **injection points**
+//! (`pool.job`, `codec.read`, …) and a **fault plan** decides — from a
+//! seeded SplitMix64 decision stream, so every chaos run is
+//! bit-reproducible — whether each crossing of a point panics, errors,
+//! or stalls.
+//!
+//! Mirroring `xtalk-obs`, the whole layer hides behind one process-global
+//! [`AtomicBool`]: while no plan is installed (the default, and the only
+//! state production ever sees) every [`check`]/[`fire`] is a single
+//! relaxed atomic load returning `None`.
+//!
+//! Plans parse from a compact spec, accepted by `xtalk serve --faults`
+//! and the `XTALK_FAULTS` environment variable:
+//!
+//! ```text
+//! pool.job:panic:0.01,codec.read:err:0.05,sim.batch:delay:0.2:15
+//! ```
+//!
+//! i.e. comma-separated `point:action:probability[:millis]`, where
+//! `action` is `panic` | `err` | `delay` (`millis` only applies to
+//! `delay`, default 10).
+//!
+//! ```
+//! xtalk_fault::install(xtalk_fault::FaultPlan::parse("demo.point:err:1.0", 7).unwrap());
+//! assert!(matches!(xtalk_fault::check("demo.point"), Some(xtalk_fault::Fault::Err(_))));
+//! assert!(xtalk_fault::check("other.point").is_none());
+//! xtalk_fault::clear();
+//! assert!(xtalk_fault::check("demo.point").is_none());
+//! ```
+
+pub mod rng;
+
+pub use rng::SplitMix64;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a fired fault does at its injection point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// The call site should panic (or [`fire`] panics for it).
+    Panic(String),
+    /// The call site should fail with this message.
+    Err(String),
+    /// The call site should stall for this long before proceeding.
+    Delay(Duration),
+}
+
+/// The action configured for a point (the un-fired form of [`Fault`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Action {
+    Panic,
+    Err,
+    Delay(u64),
+}
+
+/// One named injection point's configuration inside a plan.
+#[derive(Debug)]
+struct Point {
+    name: String,
+    prob: f64,
+    action: Action,
+    /// Seed of this point's decision stream, derived from the plan seed
+    /// and the point name.
+    stream_seed: u64,
+    /// Decisions consumed so far. Shared across threads: the *sequence*
+    /// of decisions at a point is deterministic in the seed; which thread
+    /// observes each one depends on scheduling, as in any real system.
+    crossings: AtomicU64,
+}
+
+/// A parsed, seeded fault plan.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: String,
+    points: Vec<Point>,
+}
+
+impl FaultPlan {
+    /// Parses a `point:action:prob[:ms]` comma list. Whitespace around
+    /// entries is tolerated; an empty spec is an error (install nothing
+    /// instead).
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut points = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            if !(3..=4).contains(&parts.len()) {
+                return Err(format!(
+                    "fault `{entry}`: expected point:action:prob[:ms]"
+                ));
+            }
+            let name = parts[0].trim();
+            if name.is_empty() {
+                return Err(format!("fault `{entry}`: empty point name"));
+            }
+            let prob: f64 = parts[2]
+                .parse()
+                .map_err(|_| format!("fault `{entry}`: bad probability `{}`", parts[2]))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("fault `{entry}`: probability must be in [0,1]"));
+            }
+            let action = match (parts[1], parts.get(3)) {
+                ("panic", None) => Action::Panic,
+                ("err", None) => Action::Err,
+                ("delay", ms) => {
+                    let ms = match ms {
+                        None => 10,
+                        Some(v) => v
+                            .parse()
+                            .map_err(|_| format!("fault `{entry}`: bad millis `{v}`"))?,
+                    };
+                    Action::Delay(ms)
+                }
+                (other, None) => {
+                    return Err(format!(
+                        "fault `{entry}`: unknown action `{other}` (panic, err, delay)"
+                    ))
+                }
+                (_, Some(_)) => {
+                    return Err(format!("fault `{entry}`: millis only apply to delay"))
+                }
+            };
+            points.push(Point {
+                name: name.to_string(),
+                prob,
+                action,
+                stream_seed: rng::mix(seed ^ rng::fnv1a(name)),
+                crossings: AtomicU64::new(0),
+            });
+        }
+        if points.is_empty() {
+            return Err("empty fault spec".to_string());
+        }
+        Ok(FaultPlan { seed, spec: spec.to_string(), points })
+    }
+
+    /// The seed the plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The spec string the plan was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Consumes one decision at `point`. `None` when the point is not in
+    /// the plan or this crossing's draw stays under the threshold.
+    pub fn decide(&self, point: &str) -> Option<Fault> {
+        let p = self.points.iter().find(|p| p.name == point)?;
+        let n = p.crossings.fetch_add(1, Ordering::Relaxed);
+        if rng::nth_f64(p.stream_seed, n) >= p.prob {
+            return None;
+        }
+        Some(match p.action {
+            Action::Panic => Fault::Panic(format!("injected fault: {point} (crossing {n})")),
+            Action::Err => Fault::Err(format!("injected fault: {point} (crossing {n})")),
+            Action::Delay(ms) => Fault::Delay(Duration::from_millis(ms)),
+        })
+    }
+
+    /// Total crossings observed at `point` (fired or not), for tests and
+    /// reports.
+    pub fn crossings(&self, point: &str) -> u64 {
+        self.points
+            .iter()
+            .find(|p| p.name == point)
+            .map_or(0, |p| p.crossings.load(Ordering::Relaxed))
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether a fault plan is installed. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `plan` process-wide, replacing any previous plan.
+pub fn install(plan: FaultPlan) {
+    *plan_slot().lock().unwrap() = Some(Arc::new(plan));
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Parses `spec` with `seed` and installs the result.
+pub fn install_spec(spec: &str, seed: u64) -> Result<(), String> {
+    FaultPlan::parse(spec, seed).map(install)
+}
+
+/// Installs a plan from `XTALK_FAULTS` (spec) and `XTALK_FAULT_SEED`
+/// (default 0). Returns whether a plan was installed.
+pub fn install_from_env() -> Result<bool, String> {
+    let Ok(spec) = std::env::var("XTALK_FAULTS") else { return Ok(false) };
+    if spec.trim().is_empty() {
+        return Ok(false);
+    }
+    let seed = match std::env::var("XTALK_FAULT_SEED") {
+        Err(_) => 0,
+        Ok(s) => s.parse().map_err(|_| format!("XTALK_FAULT_SEED: bad seed `{s}`"))?,
+    };
+    install_spec(&spec, seed)?;
+    Ok(true)
+}
+
+/// Removes the installed plan; every point goes quiet again.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *plan_slot().lock().unwrap() = None;
+}
+
+/// A one-line description of the active plan, if any.
+pub fn active() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    plan_slot()
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map(|p| format!("{} (seed {})", p.spec(), p.seed()))
+}
+
+/// Consumes one decision at `point` against the installed plan. Free
+/// (one relaxed load, no allocation) while no plan is installed. Fired
+/// faults are counted in `xtalk-obs` as `fault.<point>.<action>` so
+/// chaos runs are observable.
+#[inline]
+pub fn check(point: &str) -> Option<Fault> {
+    if !enabled() {
+        return None;
+    }
+    let plan = plan_slot().lock().unwrap().clone()?;
+    let fault = plan.decide(point)?;
+    if xtalk_obs::enabled() {
+        let action = match &fault {
+            Fault::Panic(_) => "panic",
+            Fault::Err(_) => "err",
+            Fault::Delay(_) => "delay",
+        };
+        xtalk_obs::counter_add(&format!("fault.{point}.{action}"), 1);
+    }
+    Some(fault)
+}
+
+/// [`check`] with the panic and delay actions executed in place: a
+/// `panic` fault panics here, a `delay` fault sleeps and returns `None`,
+/// and an `err` fault returns its message for the call site to convert
+/// into its native error type.
+///
+/// ```text
+/// if let Some(msg) = xtalk_fault::fire("codec.read") {
+///     return Err(io::Error::new(io::ErrorKind::ConnectionReset, msg));
+/// }
+/// ```
+#[inline]
+pub fn fire(point: &str) -> Option<String> {
+    match check(point)? {
+        Fault::Panic(msg) => panic!("{msg}"),
+        Fault::Err(msg) => Some(msg),
+        Fault::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The plan registry is process-global; serialize the tests that
+    /// install into it (same pattern as `xtalk-obs`).
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock().unwrap()
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan =
+            FaultPlan::parse("pool.job:panic:0.01, codec.read:err:0.05,sim.batch:delay:1.0:25", 7)
+                .unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.points.len(), 3);
+        assert_eq!(plan.points[0].action, Action::Panic);
+        assert_eq!(plan.points[1].action, Action::Err);
+        assert_eq!(plan.points[2].action, Action::Delay(25));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "  , ,",
+            "justaname",
+            "p:panic",
+            "p:panic:1.5",
+            "p:panic:-0.1",
+            "p:frob:0.5",
+            "p:panic:0.5:10", // millis on non-delay
+            ":panic:0.5",
+            "p:delay:0.5:soon",
+            "p:panic:often",
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn decisions_replay_bit_identically_from_the_seed() {
+        let a = FaultPlan::parse("x:err:0.3,y:err:0.7", 99).unwrap();
+        let b = FaultPlan::parse("x:err:0.3,y:err:0.7", 99).unwrap();
+        let fired_a: Vec<bool> = (0..200).map(|_| a.decide("x").is_some()).collect();
+        let fired_b: Vec<bool> = (0..200).map(|_| b.decide("x").is_some()).collect();
+        assert_eq!(fired_a, fired_b, "same seed must fire identically");
+        assert_eq!(a.crossings("x"), 200);
+
+        let c = FaultPlan::parse("x:err:0.3,y:err:0.7", 100).unwrap();
+        let fired_c: Vec<bool> = (0..200).map(|_| c.decide("x").is_some()).collect();
+        assert_ne!(fired_a, fired_c, "different seed must diverge");
+
+        // Each point consumes its own stream: y's decisions are
+        // independent of how often x was crossed.
+        let fresh = FaultPlan::parse("x:err:0.3,y:err:0.7", 99).unwrap();
+        let y_after: Vec<bool> = (0..50).map(|_| a.decide("y").is_some()).collect();
+        let y_fresh: Vec<bool> = (0..50).map(|_| fresh.decide("y").is_some()).collect();
+        assert_eq!(y_after, y_fresh);
+    }
+
+    #[test]
+    fn fire_rate_tracks_probability() {
+        let plan = FaultPlan::parse("p:err:0.25", 5).unwrap();
+        let fired = (0..4000).filter(|_| plan.decide("p").is_some()).count();
+        let rate = fired as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+        // Probability bounds behave.
+        let never = FaultPlan::parse("p:err:0.0", 5).unwrap();
+        assert!((0..100).all(|_| never.decide("p").is_none()));
+        let always = FaultPlan::parse("p:err:1.0", 5).unwrap();
+        assert!((0..100).all(|_| always.decide("p").is_some()));
+    }
+
+    #[test]
+    fn unknown_points_never_fire() {
+        let plan = FaultPlan::parse("p:err:1.0", 5).unwrap();
+        assert!(plan.decide("q").is_none());
+        assert_eq!(plan.crossings("q"), 0);
+    }
+
+    #[test]
+    fn global_registry_installs_checks_and_clears() {
+        let _g = lock();
+        assert!(!enabled());
+        assert!(check("demo").is_none());
+        install_spec("demo:err:1.0", 1).unwrap();
+        assert!(enabled());
+        assert_eq!(active().unwrap(), "demo:err:1.0 (seed 1)");
+        match check("demo") {
+            Some(Fault::Err(msg)) => assert!(msg.contains("demo"), "{msg}"),
+            other => panic!("expected err fault, got {other:?}"),
+        }
+        assert!(fire("demo").is_some());
+        clear();
+        assert!(!enabled());
+        assert!(check("demo").is_none());
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn fire_executes_delay_and_panic_in_place() {
+        let _g = lock();
+        install_spec("slow:delay:1.0:30,boom:panic:1.0", 2).unwrap();
+        let start = std::time::Instant::now();
+        assert!(fire("slow").is_none(), "delay resolves to no error");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        let panic = std::panic::catch_unwind(|| fire("boom"));
+        clear();
+        let msg = *panic.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected fault: boom"), "{msg}");
+    }
+
+    #[test]
+    fn env_install_roundtrip() {
+        let _g = lock();
+        // No env vars set by default in this test process.
+        std::env::remove_var("XTALK_FAULTS");
+        assert_eq!(install_from_env(), Ok(false));
+        std::env::set_var("XTALK_FAULTS", "envpt:err:1.0");
+        std::env::set_var("XTALK_FAULT_SEED", "9");
+        assert_eq!(install_from_env(), Ok(true));
+        assert!(check("envpt").is_some());
+        clear();
+        std::env::set_var("XTALK_FAULT_SEED", "not-a-number");
+        assert!(install_from_env().is_err());
+        std::env::remove_var("XTALK_FAULTS");
+        std::env::remove_var("XTALK_FAULT_SEED");
+    }
+}

@@ -64,6 +64,18 @@ impl CharacCache {
         (entry, false)
     }
 
+    /// Direct lookup without building.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
+        self.map.lock().unwrap().get(key).cloned()
+    }
+
+    /// Stores an entry (used by the fallible-build path in
+    /// [`crate::state::ServeState::characterization`], which cannot use
+    /// [`CharacCache::get_or_build`]'s infallible closure).
+    pub fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
+        self.map.lock().unwrap().insert(key, entry);
+    }
+
     /// Drops every entry from an epoch before `epoch` — called when the
     /// calibration day advances.
     pub fn invalidate_before(&self, epoch: u64) {

@@ -1,8 +1,19 @@
 //! Job handlers: the worker-pool side of every heavy request.
+//!
+//! Scheduling jobs ride the degradation ladder of
+//! [`ServeState::characterization`]: a failed characterization build
+//! degrades first to a stale last-known-good entry (response flagged
+//! `"degraded": "stale_characterization"`), then to an
+//! independent-error-only model built from the live calibration with the
+//! crosstalk-oblivious `par` scheduler forced
+//! (`"degraded": "independent_fallback"`) — the service answers with a
+//! valid, honestly-labelled schedule instead of an error.
 
 use crate::json::{obj, Json};
+use crate::metrics::Metrics;
 use crate::protocol::{err_response, ok_response, Request};
-use crate::state::ServeState;
+use crate::state::{CharacSource, ServeState};
+use xtalk_charac::Characterization;
 use xtalk_core::layout::route_with_greedy_layout;
 use xtalk_core::optimize::fuse_single_qubit_gates;
 use xtalk_core::pipeline::{run_scheduled_threads, swap_bell_error};
@@ -29,7 +40,7 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
             Ok(ok_response([("slept_ms", (*ms).into())]))
         }
         Request::Characterize { device, policy, seed, seqs, shots } => {
-            let (entry, cached) =
+            let (entry, source) =
                 state.characterization(device, policy, *seed, *seqs, *shots)?;
             let high: Vec<Json> = entry
                 .charac
@@ -41,9 +52,17 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
                 ("device".to_string(), Json::Str(device.clone())),
                 ("policy".to_string(), Json::Str(policy.clone())),
                 ("epoch".to_string(), state.epoch().into()),
-                ("cached".to_string(), cached.into()),
+                (
+                    "cached".to_string(),
+                    matches!(source, CharacSource::Fresh { cached: true }).into(),
+                ),
                 ("high_pairs".to_string(), Json::Arr(high)),
             ];
+            if let CharacSource::StaleLkg { epoch, age } = source {
+                fields.push(("degraded".to_string(), "stale_characterization".into()));
+                fields.push(("charac_epoch".to_string(), epoch.into()));
+                fields.push(("stale_epochs".to_string(), age.into()));
+            }
             if let Some(report) = &entry.report {
                 fields.push((
                     "report".to_string(),
@@ -60,23 +79,27 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
             Ok(Json::Obj(pairs))
         }
         Request::Schedule { device, qasm, scheduler, omega, policy, seed } => {
-            let (dev, ctx, cached) = context_for(state, device, policy, *seed)?;
+            let (dev, ctx, meta) = context_for(state, device, policy, *seed)?;
             let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let sched_obj = scheduler_by_name(scheduler, *omega)?;
+            let sched_obj = effective_scheduler(scheduler, *omega, &meta)?;
             let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
-            Ok(ok_response([
-                ("device", dev.name().into()),
-                ("scheduler", sched_obj.name().into()),
-                ("makespan_ns", sched.makespan().into()),
-                ("instructions", sched.circuit().len().into()),
-                ("cached", cached.into()),
-                ("epoch", state.epoch().into()),
-            ]))
+            let mut fields = vec![
+                ("device".to_string(), dev.name().into()),
+                ("scheduler".to_string(), sched_obj.name().into()),
+                ("makespan_ns".to_string(), sched.makespan().into()),
+                ("instructions".to_string(), sched.circuit().len().into()),
+                ("cached".to_string(), meta.cached.into()),
+                ("epoch".to_string(), state.epoch().into()),
+            ];
+            meta.annotate(&mut fields);
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields);
+            Ok(Json::Obj(pairs))
         }
         Request::Run { device, qasm, scheduler, omega, policy, shots, seed, threads } => {
-            let (dev, ctx, cached) = context_for(state, device, policy, *seed)?;
+            let (dev, ctx, meta) = context_for(state, device, policy, *seed)?;
             let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let sched_obj = scheduler_by_name(scheduler, *omega)?;
+            let sched_obj = effective_scheduler(scheduler, *omega, &meta)?;
             let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
             let counts = run_scheduled_threads(&dev, &sched, *shots, *seed, *threads);
             let mut entries: Vec<(u64, u64)> = counts.iter().collect();
@@ -89,17 +112,21 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
                     })
                     .collect(),
             );
-            Ok(ok_response([
-                ("device", dev.name().into()),
-                ("scheduler", sched_obj.name().into()),
-                ("makespan_ns", sched.makespan().into()),
-                ("shots", counts.shots().into()),
-                ("cached", cached.into()),
-                ("counts", counts_obj),
-            ]))
+            let mut fields = vec![
+                ("device".to_string(), dev.name().into()),
+                ("scheduler".to_string(), sched_obj.name().into()),
+                ("makespan_ns".to_string(), sched.makespan().into()),
+                ("shots".to_string(), counts.shots().into()),
+                ("cached".to_string(), meta.cached.into()),
+                ("counts".to_string(), counts_obj),
+            ];
+            meta.annotate(&mut fields);
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields);
+            Ok(Json::Obj(pairs))
         }
         Request::SwapDemo { device, from, to, shots, seed } => {
-            let (dev, ctx, _) = context_for(state, device, "truth", *seed)?;
+            let (dev, ctx, _meta) = context_for(state, device, "truth", *seed)?;
             let schedulers: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(SerialSched::new()),
                 Box::new(ParSched::new()),
@@ -126,19 +153,104 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
     }
 }
 
+/// How the scheduler context for a job was obtained.
+pub struct ContextMeta {
+    /// Characterization cache hit.
+    pub cached: bool,
+    /// `None` on the happy path; the degradation label otherwise
+    /// (`"stale_characterization"` or `"independent_fallback"`).
+    pub degraded: Option<&'static str>,
+    /// For stale fallbacks, the epoch the tables were built for.
+    pub charac_epoch: Option<u64>,
+    /// Rung 3: the context has no conditional terms, so the
+    /// crosstalk-aware scheduler must be replaced by `par`.
+    pub force_par: bool,
+}
+
+impl ContextMeta {
+    /// Appends the degradation fields to a response under construction.
+    fn annotate(&self, fields: &mut Vec<(String, Json)>) {
+        if let Some(label) = self.degraded {
+            fields.push(("degraded".to_string(), label.into()));
+        }
+        if let Some(epoch) = self.charac_epoch {
+            fields.push(("charac_epoch".to_string(), epoch.into()));
+        }
+    }
+}
+
 /// Builds the device snapshot plus a scheduler context fed from the
-/// characterization cache. Returns whether the characterization was a
-/// cache hit.
+/// characterization cache, riding the degradation ladder: a failed build
+/// yields a stale last-known-good context when one exists, else an
+/// independent-error-only context with the `par` scheduler forced.
 fn context_for(
     state: &ServeState,
     device: &str,
     policy: &str,
     seed: u64,
-) -> Result<(Device, SchedulerContext, bool), String> {
+) -> Result<(Device, SchedulerContext, ContextMeta), String> {
     let dev = state.device(device)?;
-    let (entry, cached) = state.characterization(device, policy, seed, 3, 96)?;
-    let ctx = SchedulerContext::new(&dev, entry.charac.clone());
-    Ok((dev, ctx, cached))
+    if !matches!(policy, "truth" | "all" | "onehop" | "binpacked") {
+        return Err(format!("unknown policy `{policy}`"));
+    }
+    match state.characterization(device, policy, seed, 3, 96) {
+        Ok((entry, source)) => {
+            let ctx = SchedulerContext::new(&dev, entry.charac.clone());
+            let meta = match source {
+                CharacSource::Fresh { cached } => ContextMeta {
+                    cached,
+                    degraded: None,
+                    charac_epoch: None,
+                    force_par: false,
+                },
+                CharacSource::StaleLkg { epoch, .. } => ContextMeta {
+                    cached: false,
+                    degraded: Some("stale_characterization"),
+                    charac_epoch: Some(epoch),
+                    force_par: false,
+                },
+            };
+            Ok((dev, ctx, meta))
+        }
+        Err(_) => {
+            // Rung 3: parameters are known-good (device and policy were
+            // validated above), so this is a build failure with no usable
+            // last-known-good. Degrade to the independent rates the daily
+            // calibration always provides — no conditional terms — and
+            // force the scheduler that never consults them.
+            Metrics::inc(&state.metrics.degraded_independent);
+            xtalk_obs::counter!("serve.charac.independent_fallback");
+            let mut charac = Characterization::new();
+            for &e in dev.topology().edges() {
+                charac.set_independent(e, dev.calibration().cx_error(e));
+            }
+            let ctx = SchedulerContext::new(&dev, charac);
+            let meta = ContextMeta {
+                cached: false,
+                degraded: Some("independent_fallback"),
+                charac_epoch: None,
+                force_par: true,
+            };
+            Ok((dev, ctx, meta))
+        }
+    }
+}
+
+/// The scheduler a job actually runs with: the requested one, unless the
+/// context degraded to rung 3 (no conditional terms), in which case the
+/// crosstalk-oblivious `par` replaces it. The requested name is still
+/// validated so a typo fails loudly rather than being masked by the
+/// degradation.
+fn effective_scheduler(
+    name: &str,
+    omega: f64,
+    meta: &ContextMeta,
+) -> Result<Box<dyn Scheduler>, String> {
+    let requested = scheduler_by_name(name, omega)?;
+    if meta.force_par {
+        return Ok(Box::new(ParSched::new()));
+    }
+    Ok(requested)
 }
 
 /// Names a scheduler the same way the CLI does.
@@ -193,6 +305,7 @@ mod tests {
 
     #[test]
     fn run_job_returns_counts() {
+        let _gate = crate::testutil::fault_gate();
         let state = ServeState::new(ServeConfig::default());
         let req = Request::Run {
             device: "poughkeepsie".into(),
@@ -217,6 +330,7 @@ mod tests {
 
     #[test]
     fn schedule_job_reports_makespan_and_cache() {
+        let _gate = crate::testutil::fault_gate();
         let state = ServeState::new(ServeConfig::default());
         let req = Request::Schedule {
             device: "boeblingen".into(),
@@ -235,6 +349,7 @@ mod tests {
 
     #[test]
     fn bad_inputs_produce_error_responses() {
+        let _gate = crate::testutil::fault_gate();
         let state = ServeState::new(ServeConfig::default());
         let req = Request::Run {
             device: "poughkeepsie".into(),
@@ -251,5 +366,43 @@ mod tests {
         assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("qasm"));
         assert!(scheduler_by_name("quantum-leap", 0.5).is_err());
         assert!(scheduler_by_name("xtalk", 1.5).is_err());
+    }
+
+    #[test]
+    fn charac_failure_degrades_to_independent_par_schedule() {
+        let _gate = crate::testutil::fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        // No last-known-good exists, so a total characterization failure
+        // must ride rung 3: independent-only context, `par` forced.
+        xtalk_fault::install_spec("charac.run:err:1.0", 5).unwrap();
+        let req = Request::Schedule {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "xtalk".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            seed: 11,
+        };
+        let resp = handle(&state, &req);
+        xtalk_fault::clear();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+        assert_eq!(resp.get("degraded").and_then(Json::as_str), Some("independent_fallback"));
+        assert_eq!(resp.get("scheduler").and_then(Json::as_str), Some("ParSched"));
+        assert!(resp.get("makespan_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(
+            state.metrics.degraded_independent.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // A bad scheduler name still fails loudly even while degraded.
+        let bad = Request::Schedule {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "quantum-leap".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            seed: 11,
+        };
+        let resp = handle(&state, &bad);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
     }
 }

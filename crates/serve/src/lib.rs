@@ -7,9 +7,22 @@
 //!   codec ([`protocol`], [`json`]). Requests: `ping`, `stats`,
 //!   `shutdown`, `advance_day`, `sleep`, `characterize`, `schedule`,
 //!   `run`, `swap_demo`.
-//! * **Worker pool** — a fixed set of OS threads pulling from one bounded
-//!   queue ([`pool`]); when the queue is full the server answers
-//!   `{"ok":false,"busy":true}` instead of buffering unboundedly.
+//! * **Worker pool** — a supervised, fixed-size set of OS threads pulling
+//!   from one bounded queue ([`pool`]); when the queue is full the server
+//!   answers `{"ok":false,"busy":true}` instead of buffering unboundedly.
+//!   A worker that dies mid-job is respawned and its in-flight job
+//!   quarantined with an explicit retryable response; shutdown drains the
+//!   queue (jobs complete or get `{"shutting_down":true}` — nothing is
+//!   silently dropped).
+//! * **Fault injection** — named injection points (`codec.read`,
+//!   `codec.write`, `pool.spawn`, `pool.job`, `cache.lookup`,
+//!   `charac.run`, `sim.batch`) driven by
+//!   [`xtalk-fault`](xtalk_fault)'s seeded decision streams; chaos runs
+//!   replay bit-identically from a seed.
+//! * **Retry/backoff** — [`Client::request_with_retry`] with a
+//!   [`RetryPolicy`]: retryable responses (`busy`, `shutting_down`,
+//!   `quarantined`, caught panics) and transient I/O errors are retried
+//!   with seeded decorrelated-jitter backoff and transparent reconnects.
 //! * **Characterization cache** — results keyed by
 //!   `(device, policy, seed)` and the calibration epoch ([`cache`]);
 //!   `advance_day` drifts every device through
@@ -47,8 +60,21 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 
-pub use client::{is_busy, Client};
+pub use client::{is_busy, Client, RetryPolicy};
 pub use json::Json;
-pub use protocol::Request;
+pub use protocol::{is_retryable, Request};
 pub use server::Server;
 pub use state::{ServeConfig, ServeState};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes unit tests that install a process-global fault plan;
+    /// tests touching fault-instrumented paths (characterization, codec)
+    /// must hold this for their whole body.
+    pub fn fault_gate() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

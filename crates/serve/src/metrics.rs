@@ -32,6 +32,18 @@ pub struct Metrics {
     pub job_micros: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Workers the supervisor respawned after a panic.
+    pub workers_respawned: AtomicU64,
+    /// In-flight jobs quarantined because their worker died.
+    pub jobs_quarantined: AtomicU64,
+    /// Queued jobs answered `shutting_down` during the shutdown drain.
+    pub jobs_drained: AtomicU64,
+    /// Characterization builds that failed (panicked or errored).
+    pub charac_failures: AtomicU64,
+    /// Requests served from a stale last-known-good characterization.
+    pub degraded_stale: AtomicU64,
+    /// Requests degraded all the way to the independent-error model.
+    pub degraded_independent: AtomicU64,
 }
 
 impl Metrics {
@@ -86,14 +98,22 @@ impl Metrics {
             ("queue_peak", load(&self.queue_peak).into()),
             ("cache_hits", load(&self.cache_hits).into()),
             ("cache_misses", load(&self.cache_misses).into()),
+            ("workers_respawned", load(&self.workers_respawned).into()),
+            ("jobs_quarantined", load(&self.jobs_quarantined).into()),
+            ("jobs_drained", load(&self.jobs_drained).into()),
+            ("charac_failures", load(&self.charac_failures).into()),
+            ("degraded_stale", load(&self.degraded_stale).into()),
+            ("degraded_independent", load(&self.degraded_independent).into()),
             ("mean_job_ms", Json::Num((mean_ms * 1000.0).round() / 1000.0)),
         ])
     }
 
-    /// One-line human summary for the shutdown log.
+    /// One-line human summary for the shutdown log. Resilience counters
+    /// (respawns, quarantines, drains, degradations) are appended only
+    /// when non-zero, keeping the happy-path line unchanged.
     pub fn summary(&self) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        format!(
+        let mut line = format!(
             "served {} requests over {} connections: {} jobs ok, {} failed, \
              {} timed out, {} shed (queue peak {}); cache {} hits / {} misses",
             load(&self.requests),
@@ -105,7 +125,24 @@ impl Metrics {
             load(&self.queue_peak),
             load(&self.cache_hits),
             load(&self.cache_misses),
-        )
+        );
+        let resilience = [
+            ("respawned", load(&self.workers_respawned)),
+            ("quarantined", load(&self.jobs_quarantined)),
+            ("drained", load(&self.jobs_drained)),
+            ("charac failures", load(&self.charac_failures)),
+            ("stale-degraded", load(&self.degraded_stale)),
+            ("independent-degraded", load(&self.degraded_independent)),
+        ];
+        if resilience.iter().any(|&(_, n)| n > 0) {
+            let parts: Vec<String> = resilience
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(label, n)| format!("{n} {label}"))
+                .collect();
+            line.push_str(&format!("; resilience: {}", parts.join(", ")));
+        }
+        line
     }
 }
 

@@ -2,8 +2,26 @@
 //!
 //! Every frame is one JSON document followed by `\n`. Requests are
 //! objects with a `"type"` discriminator; responses always carry an
-//! `"ok"` boolean, plus `"error"` when `ok` is false and `"busy": true
-//! when the request was shed due to a full job queue.
+//! `"ok"` boolean, plus `"error"` when `ok` is false.
+//!
+//! # Error taxonomy
+//!
+//! Failure responses fall into two classes, distinguished by a
+//! `"retryable"` flag so clients can decide mechanically:
+//!
+//! * **Retryable** — transient server conditions a backoff-and-retry is
+//!   expected to clear: `"busy": true` (queue full), `"shutting_down":
+//!   true` (drained at shutdown), `"quarantined": true` (the worker
+//!   executing the job died; a respawned worker can take the retry), and
+//!   caught job panics. All carry `"retryable": true`.
+//! * **Fatal** — the request itself is wrong (unknown device, bad QASM,
+//!   unparseable frame); retrying the same bytes cannot succeed. These
+//!   omit the flag ([`is_retryable`] reads that as `false`).
+//!
+//! The codec functions [`read_frame`]/[`write_frame`] carry the
+//! `codec.read`/`codec.write` fault-injection points; an injected fault
+//! surfaces as [`io::ErrorKind::ConnectionReset`], exactly like a peer
+//! vanishing mid-frame.
 
 use crate::json::{obj, Json};
 use std::io::{self, BufRead, Read, Write};
@@ -204,9 +222,18 @@ pub fn ok_response<const N: usize>(fields: [(&str, Json); N]) -> Json {
     Json::Obj(pairs)
 }
 
-/// A failure response.
+/// A fatal failure response: the request itself cannot succeed.
 pub fn err_response(message: impl Into<String>) -> Json {
     obj([("ok", false.into()), ("error", Json::Str(message.into()))])
+}
+
+/// A retryable failure response: a transient server condition.
+pub fn retryable_err_response(message: impl Into<String>) -> Json {
+    obj([
+        ("ok", false.into()),
+        ("retryable", true.into()),
+        ("error", Json::Str(message.into())),
+    ])
 }
 
 /// The backpressure response: queue full, try again later.
@@ -214,12 +241,46 @@ pub fn busy_response() -> Json {
     obj([
         ("ok", false.into()),
         ("busy", true.into()),
+        ("retryable", true.into()),
         ("error", "server busy: job queue full".into()),
     ])
 }
 
-/// Writes one frame.
+/// The shutdown response: the job was accepted but the pool is draining;
+/// resubmit elsewhere (or to the restarted server).
+pub fn shutting_down_response() -> Json {
+    obj([
+        ("ok", false.into()),
+        ("shutting_down", true.into()),
+        ("retryable", true.into()),
+        ("error", "server shutting down: job not executed".into()),
+    ])
+}
+
+/// The quarantine response: the worker executing this job died; the job
+/// is *not* silently retried server-side (it may be the poison that
+/// killed the worker) but a client retry lands on a fresh worker.
+pub fn quarantined_response(kind: &str, reason: &str) -> Json {
+    obj([
+        ("ok", false.into()),
+        ("quarantined", true.into()),
+        ("retryable", true.into()),
+        ("error", Json::Str(format!("worker died executing `{kind}` job: {reason}"))),
+    ])
+}
+
+/// `true` if a failure response is flagged as retryable. Successful
+/// responses are never retryable.
+pub fn is_retryable(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(false)
+        && resp.get("retryable").and_then(Json::as_bool) == Some(true)
+}
+
+/// Writes one frame. Carries the `codec.write` injection point.
 pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
+    if let Some(msg) = xtalk_fault::fire("codec.write") {
+        return Err(io::Error::new(io::ErrorKind::ConnectionReset, msg));
+    }
     let mut line = v.dump();
     line.push('\n');
     w.write_all(line.as_bytes())?;
@@ -228,8 +289,11 @@ pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
 
 /// Reads one frame. `Ok(None)` on clean EOF; malformed JSON is an
 /// `InvalidData` error (the line framing survives, so the connection can
-/// keep going).
+/// keep going). Carries the `codec.read` injection point.
 pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Json>> {
+    if let Some(msg) = xtalk_fault::fire("codec.read") {
+        return Err(io::Error::new(io::ErrorKind::ConnectionReset, msg));
+    }
     let mut line = String::new();
     let n = r.by_ref().take(MAX_FRAME_BYTES).read_line(&mut line)?;
     if n == 0 {
@@ -306,6 +370,22 @@ mod tests {
         let mut r = std::io::BufReader::new(&buf[..]);
         let v = read_frame(&mut r).unwrap().unwrap();
         assert_eq!(v.get("type").and_then(Json::as_str), Some("ping"));
+    }
+
+    #[test]
+    fn taxonomy_separates_retryable_from_fatal() {
+        assert!(is_retryable(&busy_response()));
+        assert!(is_retryable(&shutting_down_response()));
+        assert!(is_retryable(&quarantined_response("run", "injected")));
+        assert!(is_retryable(&retryable_err_response("worker hiccup")));
+        assert!(!is_retryable(&err_response("unknown device")));
+        assert!(!is_retryable(&ok_response([])));
+        let q = quarantined_response("run", "boom");
+        assert!(q.get("error").and_then(Json::as_str).unwrap().contains("`run`"));
+        assert_eq!(
+            shutting_down_response().get("shutting_down").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]

@@ -2,15 +2,16 @@
 
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::pool::{try_submit, Job, Pool, Submit, WorkItem};
+use crate::pool::{Job, Pool, PoolHandle, Submit};
 use crate::protocol::{
-    busy_response, err_response, ok_response, read_frame, write_frame, Request,
+    busy_response, err_response, ok_response, read_frame, shutting_down_response, write_frame,
+    Request,
 };
 use crate::state::{ServeConfig, ServeState};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -51,10 +52,10 @@ impl Server {
         let pool = Pool::new(workers, queue_cap, state.clone());
         let acceptor = {
             let state = state.clone();
-            let tx = pool.sender();
+            let handle = pool.handle();
             std::thread::Builder::new()
                 .name("xtalk-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &state, &tx))?
+                .spawn(move || accept_loop(&listener, &state, &handle))?
         };
         Ok(Server { state, local_addr, acceptor, pool })
     }
@@ -90,7 +91,7 @@ fn poke(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>, tx: &SyncSender<WorkItem>) {
+fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>, pool: &PoolHandle) {
     for stream in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
@@ -98,12 +99,12 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>, tx: &SyncSender<
         let Ok(stream) = stream else { continue };
         Metrics::inc(&state.metrics.connections);
         let state = state.clone();
-        let tx = tx.clone();
+        let pool = pool.clone();
         let _ = std::thread::Builder::new()
             .name("xtalk-conn".to_string())
             .spawn(move || {
                 let peer = stream.peer_addr().ok();
-                if let Err(e) = serve_connection(stream, &state, &tx) {
+                if let Err(e) = serve_connection(stream, &state, &pool) {
                     // Connection errors are per-client noise, not server
                     // failures; record and move on.
                     let _ = (peer, e);
@@ -115,7 +116,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>, tx: &SyncSender<
 fn serve_connection(
     stream: TcpStream,
     state: &Arc<ServeState>,
-    tx: &SyncSender<WorkItem>,
+    pool: &PoolHandle,
 ) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -140,14 +141,14 @@ fn serve_connection(
                 continue;
             }
         };
-        let response = dispatch(state, tx, request);
+        let response = dispatch(state, pool, request);
         write_frame(&mut writer, &response)?;
     }
 }
 
 /// Routes one request: light ones inline, heavy ones through the pool
 /// with backpressure and a reply timeout.
-fn dispatch(state: &Arc<ServeState>, tx: &SyncSender<WorkItem>, request: Request) -> Json {
+fn dispatch(state: &Arc<ServeState>, pool: &PoolHandle, request: Request) -> Json {
     if !request.is_heavy() {
         return match request {
             Request::Ping => ok_response([("pong", true.into())]),
@@ -184,16 +185,16 @@ fn dispatch(state: &Arc<ServeState>, tx: &SyncSender<WorkItem>, request: Request
     // Gauge up *before* submitting: a fast worker may finish (and
     // decrement) before a post-submit increment would land.
     state.metrics.job_enqueued();
-    match try_submit(tx, Job { request, reply: reply_tx }) {
+    match pool.try_submit(Job { request, reply: reply_tx }) {
         Submit::Accepted => {}
         Submit::Full => {
             state.metrics.job_rejected();
             Metrics::inc(&state.metrics.busy_rejections);
             return busy_response();
         }
-        Submit::Disconnected => {
+        Submit::ShuttingDown => {
             state.metrics.job_rejected();
-            return err_response("worker pool is shut down");
+            return shutting_down_response();
         }
     }
     match reply_rx.recv_timeout(state.config.job_timeout) {

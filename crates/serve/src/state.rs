@@ -1,14 +1,54 @@
-//! Shared server state: configuration, device fleet, cache, metrics.
+//! Shared server state: configuration, device fleet, cache, metrics —
+//! and the characterization **degradation ladder**.
+//!
+//! # Degradation ladder
+//!
+//! [`ServeState::characterization`] tries three rungs, in order:
+//!
+//! 1. **Fresh** — the characterization for the current calibration epoch,
+//!    from cache or built on demand.
+//! 2. **Stale last-known-good** — if the build fails (panics, errors, or
+//!    an injected `cache.lookup`/`charac.run` fault), fall back to the
+//!    most recent successful characterization of the same
+//!    `(device, policy, seed)` from an earlier epoch, provided it is no
+//!    older than [`ServeConfig::stale_ttl_epochs`]. The response is
+//!    flagged so the caller knows the error tables predate current
+//!    calibration.
+//! 3. **Independent-error model** — if there is no last-known-good within
+//!    the TTL, the caller ([`crate::jobs`]) degrades to a
+//!    characterization holding only per-gate independent error rates from
+//!    the live calibration (no conditional/crosstalk terms) and forces
+//!    the crosstalk-oblivious `par` scheduler, which never consults the
+//!    missing terms.
 
 use crate::cache::{CacheEntry, CacheKey, CharacCache};
 use crate::metrics::Metrics;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use xtalk_charac::policy::TimeModel;
 use xtalk_charac::{characterize, Characterization, CharacterizationPolicy, RbConfig};
 use xtalk_device::Device;
+
+/// Where a characterization came from, for response flagging.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CharacSource {
+    /// Built (or cached) for the current calibration epoch.
+    Fresh {
+        /// `true` if served from cache without rebuilding.
+        cached: bool,
+    },
+    /// The current-epoch build failed; this is the last-known-good entry
+    /// from an earlier epoch, within the staleness TTL.
+    StaleLkg {
+        /// Epoch the entry was built for.
+        epoch: u64,
+        /// How many epochs old it is (`current - epoch`, ≥ 1).
+        age: u64,
+    },
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -28,6 +68,10 @@ pub struct ServeConfig {
     /// Enable the `xtalk-obs` profiling layer for the server process;
     /// span/counter data is merged into the `stats` response.
     pub profile: bool,
+    /// How many epochs a last-known-good characterization may lag the
+    /// current calibration before it is refused as a fallback (rung 2 of
+    /// the degradation ladder). `0` disables stale fallback entirely.
+    pub stale_ttl_epochs: u64,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +83,7 @@ impl Default for ServeConfig {
             job_timeout: Duration::from_secs(120),
             device_seed: 7,
             profile: false,
+            stale_ttl_epochs: 3,
         }
     }
 }
@@ -69,7 +114,16 @@ pub struct ServeState {
     epoch: AtomicU64,
     /// Set to stop the accept loop.
     pub shutdown: AtomicBool,
+    /// Last-known-good characterizations by `(device, policy, seed)`,
+    /// with the epoch each was built for. Unlike [`CharacCache`] this
+    /// map survives `advance_day`: it exists precisely so a *failed*
+    /// rebuild can fall back to the previous epoch's result.
+    lkg: Mutex<LkgMap>,
 }
+
+/// Last-known-good side table: `(device, policy, seed)` → the epoch a
+/// characterization was built for, plus the entry itself.
+type LkgMap = HashMap<(String, String, u64), (u64, Arc<CacheEntry>)>;
 
 impl ServeState {
     /// Builds the state with the three IBMQ device models at day 0.
@@ -85,6 +139,7 @@ impl ServeState {
             metrics: Metrics::default(),
             epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            lkg: Mutex::new(HashMap::new()),
         })
     }
 
@@ -122,8 +177,11 @@ impl ServeState {
     }
 
     /// The characterization for `(device, policy, seed)` at the current
-    /// epoch, from cache when possible. Returns the entry and whether it
-    /// was a cache hit.
+    /// epoch, from cache when possible, degrading to a stale
+    /// last-known-good entry when the build fails (see the module docs).
+    /// `Err` means both rungs 1 and 2 are exhausted — the *request
+    /// parameters* are bad, or the build failed with no usable fallback —
+    /// and the caller decides whether rung 3 applies.
     pub fn characterization(
         &self,
         device_name: &str,
@@ -131,7 +189,7 @@ impl ServeState {
         seed: u64,
         seqs: usize,
         shots: u64,
-    ) -> Result<(Arc<CacheEntry>, bool), String> {
+    ) -> Result<(Arc<CacheEntry>, CharacSource), String> {
         let device = self.device(device_name)?;
         let policy_obj = match policy {
             "truth" => None,
@@ -140,31 +198,79 @@ impl ServeState {
             "binpacked" => Some(CharacterizationPolicy::OneHopBinPacked { k_hops: 2 }),
             other => return Err(format!("unknown policy `{other}`")),
         };
+        let epoch = self.epoch();
+        let lkg_key = (device_name.to_string(), policy.to_string(), seed);
         let key = CacheKey {
             device: device_name.to_string(),
             policy: policy.to_string(),
             seed,
-            epoch: self.epoch(),
+            epoch,
         };
-        let (entry, hit) = self.cache.get_or_build(key, || match policy_obj {
-            None => CacheEntry {
-                charac: Characterization::from_ground_truth(&device),
-                report: None,
-            },
-            Some(p) => {
-                let config = RbConfig {
-                    seqs_per_length: seqs.max(1),
-                    shots: shots.max(16),
-                    seed,
-                    ..Default::default()
-                };
-                let (charac, report) =
-                    characterize(&device, &p, &config, &TimeModel::default());
-                CacheEntry { charac, report: Some(report) }
+        // Rung 1: fresh, from cache or a guarded build. Injected
+        // `cache.lookup`/`charac.run` faults and build panics all land in
+        // `failure` below instead of taking down the worker.
+        let failure: String = 'fresh: {
+            if let Some(msg) = xtalk_fault::fire("cache.lookup") {
+                break 'fresh format!("characterization store unavailable: {msg}");
             }
-        });
-        Metrics::inc(if hit { &self.metrics.cache_hits } else { &self.metrics.cache_misses });
-        Ok((entry, hit))
+            if let Some(entry) = self.cache.get(&key) {
+                Metrics::inc(&self.metrics.cache_hits);
+                return Ok((entry, CharacSource::Fresh { cached: true }));
+            }
+            let built = catch_unwind(AssertUnwindSafe(|| -> Result<CacheEntry, String> {
+                if let Some(msg) = xtalk_fault::fire("charac.run") {
+                    return Err(format!("characterization failed: {msg}"));
+                }
+                Ok(match policy_obj {
+                    None => CacheEntry {
+                        charac: Characterization::from_ground_truth(&device),
+                        report: None,
+                    },
+                    Some(p) => {
+                        let config = RbConfig {
+                            seqs_per_length: seqs.max(1),
+                            shots: shots.max(16),
+                            seed,
+                            ..Default::default()
+                        };
+                        let (charac, report) =
+                            characterize(&device, &p, &config, &TimeModel::default());
+                        CacheEntry { charac, report: Some(report) }
+                    }
+                })
+            }));
+            match built {
+                Ok(Ok(entry)) => {
+                    let entry = Arc::new(entry);
+                    self.cache.insert(key, entry.clone());
+                    self.lkg
+                        .lock()
+                        .unwrap()
+                        .insert(lkg_key, (epoch, entry.clone()));
+                    Metrics::inc(&self.metrics.cache_misses);
+                    return Ok((entry, CharacSource::Fresh { cached: false }));
+                }
+                Ok(Err(msg)) => msg,
+                Err(_) => "characterization panicked".to_string(),
+            }
+        };
+        // Rung 2: stale last-known-good within the TTL.
+        Metrics::inc(&self.metrics.charac_failures);
+        xtalk_obs::counter!("serve.charac.failure");
+        if let Some((lkg_epoch, entry)) = self.lkg.lock().unwrap().get(&lkg_key).cloned() {
+            let age = epoch.saturating_sub(lkg_epoch);
+            if age == 0 {
+                // The primary lookup failed but the side-table holds a
+                // current-epoch entry — not actually stale.
+                return Ok((entry, CharacSource::Fresh { cached: true }));
+            }
+            if age <= self.config.stale_ttl_epochs {
+                Metrics::inc(&self.metrics.degraded_stale);
+                xtalk_obs::counter!("serve.charac.stale_fallback");
+                return Ok((entry, CharacSource::StaleLkg { epoch: lkg_epoch, age }));
+            }
+        }
+        Err(failure)
     }
 }
 
@@ -184,14 +290,15 @@ mod tests {
 
     #[test]
     fn characterization_caches_until_day_advances() {
+        let _gate = fault_gate();
         let state = ServeState::new(ServeConfig::default());
-        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
-        assert!(!hit);
-        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
-        assert!(hit);
+        let (_, src) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: false });
+        let (_, src) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: true });
         state.advance_day();
-        let (_, hit) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
-        assert!(!hit, "drift must invalidate the cache");
+        let (_, src) = state.characterization("boeblingen", "truth", 7, 3, 96).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: false }, "drift must invalidate the cache");
         assert_eq!(state.metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(state.metrics.cache_misses.load(Ordering::Relaxed), 2);
     }
@@ -200,5 +307,47 @@ mod tests {
     fn unknown_policy_is_rejected() {
         let state = ServeState::new(ServeConfig::default());
         assert!(state.characterization("poughkeepsie", "psychic", 7, 3, 96).is_err());
+    }
+
+    use crate::testutil::fault_gate;
+
+    #[test]
+    fn failed_rebuild_falls_back_to_stale_lkg_within_ttl() {
+        let _gate = fault_gate();
+        let config = ServeConfig {
+            stale_ttl_epochs: 2,
+            ..ServeConfig::default()
+        };
+        let state = ServeState::new(config);
+        let (fresh, src) = state.characterization("boeblingen", "truth", 7, 1, 32).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: false });
+        state.advance_day();
+        // Every build from now on fails.
+        xtalk_fault::install_spec("charac.run:err:1.0", 1).unwrap();
+        let (stale, src) = state.characterization("boeblingen", "truth", 7, 1, 32).unwrap();
+        assert_eq!(src, CharacSource::StaleLkg { epoch: 0, age: 1 });
+        assert_eq!(stale.charac, fresh.charac, "stale entry must be the day-0 tables");
+        // Past the TTL the ladder is exhausted at this level.
+        state.advance_day();
+        state.advance_day();
+        let err = state.characterization("boeblingen", "truth", 7, 1, 32).unwrap_err();
+        assert!(err.contains("characterization failed"), "unexpected error: {err}");
+        xtalk_fault::clear();
+        assert!(state.metrics.degraded_stale.load(Ordering::Relaxed) >= 1);
+        assert!(state.metrics.charac_failures.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn store_fault_with_current_lkg_is_not_stale() {
+        let _gate = fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        let (_, src) = state.characterization("poughkeepsie", "truth", 9, 1, 32).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: false });
+        // The store lookup fails, but the LKG side-table has a
+        // current-epoch entry: served fresh, not flagged stale.
+        xtalk_fault::install_spec("cache.lookup:err:1.0", 1).unwrap();
+        let (_, src) = state.characterization("poughkeepsie", "truth", 9, 1, 32).unwrap();
+        xtalk_fault::clear();
+        assert_eq!(src, CharacSource::Fresh { cached: true });
     }
 }

@@ -1,0 +1,338 @@
+//! Chaos tests: the serve stack under deterministic fault injection.
+//!
+//! Every test installs a seeded `xtalk-fault` plan, drives the server (or
+//! the pool directly) through failures, and asserts the robustness
+//! contract: no silent drops, bit-identical results for surviving jobs,
+//! explicit flagged degradation, and clean thread teardown.
+//!
+//! The fault plan is process-global, so the tests serialize on one gate
+//! and clear the plan through an RAII guard (even on assertion panic).
+
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+use xtalk_serve::json::{obj, Json};
+use xtalk_serve::pool::{Job, Pool, Submit};
+use xtalk_serve::protocol::Request;
+use xtalk_serve::{Client, RetryPolicy, ServeConfig, ServeState, Server};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs a plan for the test body and clears it on drop, so a failing
+/// assertion cannot leak faults into the next test.
+struct FaultGuard;
+
+impl FaultGuard {
+    fn install(spec: &str, seed: u64) -> FaultGuard {
+        xtalk_fault::install_spec(spec, seed).expect("valid fault spec");
+        FaultGuard
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        xtalk_fault::clear();
+    }
+}
+
+const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+
+fn test_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap: 16,
+        job_timeout: Duration::from_secs(60),
+        ..ServeConfig::default()
+    }
+}
+
+fn run_request(seed: u64) -> Json {
+    obj([
+        ("type", "run".into()),
+        ("qasm", BELL.into()),
+        ("device", "poughkeepsie".into()),
+        ("scheduler", "par".into()),
+        ("policy", "truth".into()),
+        ("shots", 64u64.into()),
+        ("seed", seed.into()),
+        ("threads", 1u64.into()),
+    ])
+}
+
+fn retry_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(100),
+        seed: 99,
+    }
+}
+
+/// Collects the counts of several `run` jobs through a retrying client,
+/// plus the server's final respawn tally.
+fn chaos_run_counts(seeds: &[u64], attempts: u32) -> (Vec<Json>, u64) {
+    let server = Server::start(test_config(1)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let policy = retry_policy(attempts);
+    let counts: Vec<Json> = seeds
+        .iter()
+        .map(|&seed| {
+            let resp = client.request_with_retry(&run_request(seed), &policy).unwrap();
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "job with seed {seed} never completed: {}",
+                resp.dump()
+            );
+            resp.get("counts").cloned().unwrap()
+        })
+        .collect();
+    let respawned = server
+        .state()
+        .metrics
+        .workers_respawned
+        .load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+    let summary = server.join();
+    assert!(summary.contains("requests"), "summary must render: {summary}");
+    (counts, respawned)
+}
+
+/// (a) Worker panics kill jobs mid-flight; retried jobs on respawned
+/// workers produce counts bit-identical to a fault-free run, and the
+/// whole chaos run replays identically from its seed.
+#[test]
+fn worker_panics_preserve_determinism() {
+    let _gate = gate();
+    let seeds = [11u64, 12, 13];
+    // Fault-free baseline.
+    xtalk_fault::clear();
+    let (baseline, respawned) = chaos_run_counts(&seeds, 1);
+    assert_eq!(respawned, 0, "baseline must not respawn workers");
+
+    // Chaos: half of all dequeues kill the worker with the job in
+    // flight. Fresh plan per run resets the decision stream, so both
+    // chaos runs consume identical decisions.
+    let chaos = {
+        let _faults = FaultGuard::install("pool.job:panic:0.5", 42);
+        chaos_run_counts(&seeds, 20)
+    };
+    let replay = {
+        let _faults = FaultGuard::install("pool.job:panic:0.5", 42);
+        chaos_run_counts(&seeds, 20)
+    };
+    assert!(chaos.1 >= 1, "seed 42 at p=0.5 must kill at least one worker");
+    assert_eq!(chaos.0, baseline, "surviving jobs must match the fault-free counts");
+    assert_eq!(replay.0, chaos.0, "chaos run must replay bit-identically");
+    assert_eq!(replay.1, chaos.1, "respawn count must replay too");
+}
+
+/// (b) Retry/backoff converges under 20% injected codec read errors:
+/// every request eventually gets an answer, through reconnects.
+#[test]
+fn retries_converge_under_codec_errors() {
+    let _gate = gate();
+    let _faults = FaultGuard::install("codec.read:err:0.2", 7);
+    let server = Server::start(test_config(2)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeouts(Some(Duration::from_secs(30)), Some(Duration::from_secs(30)))
+        .unwrap();
+    let policy = retry_policy(12);
+    for i in 0..12u64 {
+        let req = obj([("type", "sleep".into()), ("ms", 1u64.into())]);
+        let resp = client
+            .request_with_retry(&req, &policy)
+            .unwrap_or_else(|e| panic!("request {i} exhausted retries: {e}"));
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {i} failed: {}",
+            resp.dump()
+        );
+    }
+    xtalk_fault::clear();
+    server.shutdown();
+    server.join();
+}
+
+/// (c) The degradation ladder end to end: a failed rebuild serves the
+/// stale last-known-good characterization (flagged), and past the TTL
+/// the scheduler degrades to the independent-error model with `par`
+/// forced — all as valid, honestly-labelled responses.
+#[test]
+fn characterization_failure_degrades_gracefully() {
+    let _gate = gate();
+    let mut config = test_config(1);
+    config.stale_ttl_epochs = 2;
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Epoch 0: a real characterization, remembered as last-known-good.
+    let charac_req = obj([
+        ("type", "characterize".into()),
+        ("device", "poughkeepsie".into()),
+        ("policy", "binpacked".into()),
+        ("seed", 7u64.into()),
+        ("seqs", 1u64.into()),
+        ("shots", 32u64.into()),
+    ]);
+    let resp = client.request(&charac_req).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("degraded"), None);
+
+    // Epoch 1: every rebuild fails; characterize and schedule both ride
+    // the stale rung, flagged with the old epoch.
+    client.advance_day().unwrap();
+    let _faults = FaultGuard::install("charac.run:err:1.0,cache.lookup:err:0.0", 1);
+    let resp = client.request(&charac_req).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("degraded").and_then(Json::as_str), Some("stale_characterization"));
+    assert_eq!(resp.get("charac_epoch").and_then(Json::as_u64), Some(0));
+
+    let sched_req = obj([
+        ("type", "schedule".into()),
+        ("qasm", BELL.into()),
+        ("device", "poughkeepsie".into()),
+        ("scheduler", "xtalk".into()),
+        ("policy", "binpacked".into()),
+        ("seed", 7u64.into()),
+    ]);
+    let resp = client.request(&sched_req).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("degraded").and_then(Json::as_str), Some("stale_characterization"));
+    assert!(resp.get("makespan_ns").and_then(Json::as_u64).unwrap() > 0);
+
+    // Epochs 2-3: past the TTL the last-known-good is refused and the
+    // scheduler falls to the independent-error model with `par` forced.
+    client.advance_day().unwrap();
+    client.advance_day().unwrap();
+    let resp = client.request(&sched_req).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("degraded").and_then(Json::as_str), Some("independent_fallback"));
+    assert_eq!(resp.get("scheduler").and_then(Json::as_str), Some("ParSched"));
+    assert!(resp.get("makespan_ns").and_then(Json::as_u64).unwrap() > 0);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.get("degraded_stale").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(stats.get("degraded_independent").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(stats.get("charac_failures").and_then(Json::as_u64).unwrap() >= 2);
+
+    xtalk_fault::clear();
+    server.shutdown();
+    server.join();
+}
+
+/// (d) Satellite 2 at the pool level: shutdown with a poisoned queue
+/// quarantines the in-flight job and answers the rest explicitly —
+/// nothing is silently dropped, and no thread is left alive.
+#[test]
+fn shutdown_drains_with_explicit_responses() {
+    let _gate = gate();
+    xtalk_fault::clear();
+    let state = ServeState::new(ServeConfig::default());
+    let pool = Pool::new(1, 8, state.clone());
+    let handle = pool.handle();
+
+    // j1 occupies the single worker; j2 and j3 queue behind it.
+    let (tx1, rx1) = mpsc::channel();
+    let (tx2, rx2) = mpsc::channel();
+    let (tx3, rx3) = mpsc::channel();
+    state.metrics.job_enqueued();
+    assert_eq!(
+        handle.try_submit(Job { request: Request::Sleep { ms: 400 }, reply: tx1 }),
+        Submit::Accepted
+    );
+    // Give the worker time to dequeue j1 *before* the fault plan lands
+    // (its `pool.job` crossing must not fire).
+    std::thread::sleep(Duration::from_millis(100));
+    let _faults = FaultGuard::install("pool.job:panic:1.0", 5);
+    for tx in [tx2, tx3] {
+        state.metrics.job_enqueued();
+        assert_eq!(
+            handle.try_submit(Job { request: Request::Sleep { ms: 1 }, reply: tx }),
+            Submit::Accepted
+        );
+    }
+
+    // Stop sentinels queue behind j2/j3; the worker finishes j1, dies on
+    // j2 (quarantining it), is not respawned (stopping), and the drain
+    // answers j3. `shutdown` returning proves every thread was joined.
+    pool.shutdown();
+
+    let r1 = rx1.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(r1.get("ok").and_then(Json::as_bool), Some(true), "{}", r1.dump());
+    let r2 = rx2.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(r2.get("quarantined").and_then(Json::as_bool), Some(true), "{}", r2.dump());
+    let r3 = rx3.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(r3.get("shutting_down").and_then(Json::as_bool), Some(true), "{}", r3.dump());
+    for r in [&r2, &r3] {
+        assert_eq!(r.get("retryable").and_then(Json::as_bool), Some(true));
+    }
+
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(load(&state.metrics.jobs_quarantined), 1);
+    assert_eq!(load(&state.metrics.jobs_drained), 1);
+    assert_eq!(load(&state.metrics.queue_depth), 0, "gauge must return to zero");
+
+    // New submissions are refused explicitly.
+    let (tx4, _rx4) = mpsc::channel();
+    assert_eq!(
+        handle.try_submit(Job { request: Request::Sleep { ms: 1 }, reply: tx4 }),
+        Submit::ShuttingDown
+    );
+}
+
+/// (g) Acceptance smoke: a mixed plan at the issue's rates (>=1% worker
+/// panics, 5% codec errors) across every job kind — each submission
+/// completes with an explicit outcome, and the server tears down clean
+/// while faults are still active.
+#[test]
+fn mixed_fault_plan_leaves_no_silent_drops() {
+    let _gate = gate();
+    let _faults = FaultGuard::install("pool.job:panic:0.02,codec.read:err:0.05", 1234);
+    let server = Server::start(test_config(2)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let policy = retry_policy(15);
+    let requests: Vec<Json> = vec![
+        obj([("type", "ping".into())]),
+        obj([("type", "sleep".into()), ("ms", 1u64.into())]),
+        run_request(21),
+        obj([
+            ("type", "characterize".into()),
+            ("device", "boeblingen".into()),
+            ("policy", "truth".into()),
+            ("seed", 3u64.into()),
+        ]),
+        obj([
+            ("type", "schedule".into()),
+            ("qasm", BELL.into()),
+            ("device", "johannesburg".into()),
+            ("scheduler", "xtalk".into()),
+            ("policy", "truth".into()),
+            ("seed", 3u64.into()),
+        ]),
+        obj([("type", "stats".into())]),
+    ];
+    for (i, req) in requests.iter().enumerate() {
+        let resp = client
+            .request_with_retry(req, &policy)
+            .unwrap_or_else(|e| panic!("request {i} got no explicit outcome: {e}"));
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {i} failed: {}",
+            resp.dump()
+        );
+    }
+    // Shut down from the server handle (not the faulty connection) and
+    // join: returning proves the acceptor, every connection thread
+    // spawned, the supervisor, and all workers (dead or alive) are gone.
+    server.shutdown();
+    let summary = server.join();
+    assert!(summary.contains("requests"), "{summary}");
+}

@@ -179,6 +179,14 @@ impl<'a> Executor<'a> {
         hi: u64,
         thread_idx: usize,
     ) -> Counts {
+        // `sim.batch` injection point: an injected error panics the batch
+        // (propagating to the caller as a worker/job panic, exercising the
+        // serve stack's quarantine path); a delay only stalls wall time.
+        // Neither touches the per-shot RNG streams, so counts from
+        // surviving runs stay bit-identical.
+        if let Some(msg) = xtalk_fault::fire("sim.batch") {
+            panic!("injected sim.batch fault: {msg}");
+        }
         let _batch = xtalk_obs::span("sim.shot_batch");
         let counts = self.run_shot_range(sched, prep, lo, hi);
         if xtalk_obs::enabled() {

@@ -26,7 +26,8 @@ use crosstalk_mitigation::core::pipeline::swap_bell_error_threads;
 use crosstalk_mitigation::device::Device;
 use crosstalk_mitigation::ir::{qasm, Circuit};
 use crosstalk_mitigation::obs;
-use crosstalk_mitigation::serve::{Client, Json, ServeConfig, Server};
+use crosstalk_mitigation::fault;
+use crosstalk_mitigation::serve::{Client, Json, RetryPolicy, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -72,13 +73,18 @@ USAGE:
     xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N] [--profile]
     xtalk swap-demo --device <name> --from A --to B [--shots N]
     xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N] [--profile]
+                [--stale-ttl N] [--faults SPEC] [--fault-seed N]
     xtalk profile <fig5|charac> [--shots N] [--seed N] [--threads N] [--text]
     xtalk profile-check <snapshot.json>
     xtalk submit <type> [input.qasm] [--addr HOST:PORT] [--device <name>] [--scheduler S] [--policy P]
                  [--shots N] [--seed N] [--threads N] [--omega W] [--from A --to B] [--ms N]
+                 [--deadline-ms N] [--retries N] [--retry-seed N]
 
 SUBMIT TYPES: ping, stats, shutdown, advance_day, sleep, characterize, schedule, run, swap_demo
-DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)";
+DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)
+FAULT SPECS: comma-separated `point:action:prob[:ms]` with action panic|err|delay, e.g.
+    --faults \"pool.job:panic:0.01,codec.read:err:0.05\" (or env XTALK_FAULTS / XTALK_FAULT_SEED);
+    points: codec.read codec.write pool.spawn pool.job cache.lookup charac.run sim.batch";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 /// Flags listed in [`BOOL_FLAGS`] take no value.
@@ -343,6 +349,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.job_timeout = Duration::from_millis(timeout_ms.max(1));
     config.device_seed = flags.get_parse("device-seed", config.device_seed)?;
     config.profile = flags.has("profile");
+    config.stale_ttl_epochs = flags.get_parse("stale-ttl", config.stale_ttl_epochs)?;
+
+    // Fault injection: an explicit --faults wins over the environment.
+    if let Some(spec) = flags.get("faults") {
+        let seed = flags.get_parse("fault-seed", 0u64)?;
+        fault::install_spec(spec, seed).map_err(|e| format!("--faults: {e}"))?;
+    } else {
+        fault::install_from_env().map_err(|e| format!("XTALK_FAULTS: {e}"))?;
+    }
+    if let Some(plan) = fault::active() {
+        println!("fault injection active: {plan}");
+    }
 
     let workers = config.effective_workers();
     let server = Server::start(config).map_err(|e| format!("cannot bind: {e}"))?;
@@ -516,8 +534,20 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
     );
 
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let response = client.request(&request).map_err(|e| format!("request failed: {e}"))?;
+    // The deadline bounds the connect and both socket directions, so a
+    // stalled server can never hang the CLI; retries ride the client's
+    // seeded decorrelated-jitter backoff.
+    let deadline = Duration::from_millis(flags.get_parse("deadline-ms", 120_000u64)?.max(1));
+    let policy = RetryPolicy {
+        max_attempts: flags.get_parse("retries", 5u32)?.max(1),
+        seed: flags.get_parse("retry-seed", 0u64)?,
+        ..RetryPolicy::default()
+    };
+    let mut client =
+        Client::connect_with_deadline(addr, deadline).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client
+        .request_with_retry(&request, &policy)
+        .map_err(|e| format!("request failed: {e}"))?;
     println!("{}", response.dump());
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         Ok(())

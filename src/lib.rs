@@ -20,6 +20,10 @@
 //!   bounded worker pool, drift-aware characterization cache).
 //! * [`obs`] — opt-in tracing spans, counters and latency histograms
 //!   used by `xtalk run --profile` / `xtalk profile`.
+//! * [`fault`] — deterministic fault injection: seeded decision streams
+//!   behind named points (`codec.read`, `pool.job`, `charac.run`,
+//!   `sim.batch`, ...) driving the serve stack's chaos tests and the
+//!   `xtalk serve --faults` flag.
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@
 
 pub use xtalk_charac as charac;
 pub use xtalk_clifford as clifford;
+pub use xtalk_fault as fault;
 pub use xtalk_core as core;
 pub use xtalk_device as device;
 pub use xtalk_ir as ir;
