@@ -34,6 +34,12 @@ echo "== chaos suite =="
 # Fault plans are process-global; the suite serializes internally.
 cargo test -q -p xtalk-serve --test chaos
 
+echo "== budget & fault-grammar suites =="
+# End-to-end deadlines: cooperative cancellation, admission control,
+# prefix-deterministic partials; plus the fault-spec grammar properties.
+cargo test -q -p xtalk-serve --test budget_chaos
+cargo test -q -p xtalk-fault --test spec_props
+
 echo "== xtalk serve --faults smoke =="
 # End-to-end chaos: a server with 2% worker deaths and 5% torn codec
 # reads (fixed seed — deterministic) must answer every retried submit
@@ -58,5 +64,42 @@ target/release/xtalk submit shutdown --addr "$addr" --deadline-ms 20000 --retrie
 wait "$serve_pid"
 grep -q "served .* requests" "$serve_log" || { echo "no shutdown summary"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log"
+
+echo "== budget e2e smoke =="
+# End-to-end deadlines: under an injected 450ms-per-batch executor stall,
+# a 400ms budget yields a flagged partial (exactly one 64-shot batch),
+# then an ample budget succeeds in full on the same undrained pool.
+budget_log="$(mktemp)"
+bell_qasm="$(mktemp --suffix=.qasm)"
+printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n' > "$bell_qasm"
+target/release/xtalk serve --addr 127.0.0.1:0 --workers 1 \
+    --faults "sim.batch:delay:1.0:450" --fault-seed 1 \
+    > "$budget_log" &
+budget_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$budget_log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$budget_log" | head -n1)"
+[ -n "$addr" ] || { echo "serve did not report an address"; cat "$budget_log"; exit 1; }
+partial="$(target/release/xtalk submit run "$bell_qasm" --addr "$addr" \
+    --scheduler par --policy truth --shots 256 --seed 7 --threads 1 \
+    --budget-ms 400 --deadline-ms 20000)"
+echo "$partial" | grep -q '"budget_exhausted":true' \
+    || { echo "tiny budget did not yield a flagged partial: $partial"; exit 1; }
+echo "$partial" | grep -q '"shots_completed":64' \
+    || { echo "partial is not the expected one-batch prefix: $partial"; exit 1; }
+full="$(target/release/xtalk submit run "$bell_qasm" --addr "$addr" \
+    --scheduler par --policy truth --shots 64 --seed 7 --threads 1 \
+    --budget-ms 60000 --deadline-ms 20000)"
+if echo "$full" | grep -q '"budget_exhausted"'; then
+    echo "ample budget was wrongly truncated: $full"; exit 1
+fi
+echo "$full" | grep -q '"shots_completed":64' \
+    || { echo "ample budget did not complete: $full"; exit 1; }
+target/release/xtalk submit shutdown --addr "$addr" --deadline-ms 20000 > /dev/null
+wait "$budget_pid"
+grep -q "1 partial" "$budget_log" || { echo "summary missing the partial tally"; cat "$budget_log"; exit 1; }
+rm -f "$budget_log" "$bell_qasm"
 
 echo "ci: all green"

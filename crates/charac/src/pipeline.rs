@@ -5,6 +5,7 @@ use crate::policy::{CharacterizationPolicy, TimeModel};
 use crate::rb::RbConfig;
 use crate::srb::run_srb_bin;
 use std::collections::BTreeMap;
+use xtalk_budget::Budget;
 use xtalk_device::{Device, Edge};
 
 /// Estimated error rates: the compiler-facing product of characterization
@@ -137,6 +138,15 @@ pub struct CharacterizationReport {
     pub executions: u64,
     /// Estimated machine time in hours under the [`TimeModel`].
     pub machine_time_hours: f64,
+    /// Experiment bins actually run (RB + SRB); equals `bins_total`
+    /// unless a [`Budget`] truncated the sweep.
+    pub bins_completed: usize,
+    /// Experiment bins the plan called for (RB + SRB).
+    pub bins_total: usize,
+    /// `true` iff every planned bin ran. A partial characterization only
+    /// covers the edges/pairs of its completed bins; the serve layer
+    /// treats it as a failed rebuild and rides the degradation ladder.
+    pub complete: bool,
 }
 
 /// Runs the policy's SRB plan against `device` (simulated), producing the
@@ -155,6 +165,22 @@ pub fn characterize(
     config: &RbConfig,
     time_model: &TimeModel,
 ) -> (Characterization, CharacterizationReport) {
+    characterize_budgeted(device, policy, config, time_model, &Budget::unlimited())
+}
+
+/// [`characterize`] under a cooperative [`Budget`], polled before each
+/// experiment bin (an RB bin or an SRB bin — the natural checkpoint: a
+/// bin is one machine experiment). On exhaustion the sweep stops and the
+/// partial [`Characterization`] covers exactly the completed bins, with
+/// `report.bins_completed < report.bins_total` and
+/// `report.complete == false`.
+pub fn characterize_budgeted(
+    device: &Device,
+    policy: &CharacterizationPolicy,
+    config: &RbConfig,
+    time_model: &TimeModel,
+    budget: &Budget,
+) -> (Characterization, CharacterizationReport) {
     let _span = xtalk_obs::span("charac.characterize");
     let plan = policy.experiments(device.topology(), config.seed);
     let mut charac = Characterization::new();
@@ -165,20 +191,31 @@ pub fn characterize(
         50,
         config.seed,
     );
+    let bins_total = edge_bins.len() + plan.len();
+    let mut bins_completed = 0usize;
     // One RB circuit per (length, sequence) per bin; SRB runs the same
     // grid on each pair's two edges plus the simultaneous variant.
     let circuits_per_bin = (config.lengths.len() * config.seqs_per_length) as u64;
     for bin in &edge_bins {
+        if budget.exhausted().is_some() {
+            break;
+        }
         let _bin_span = xtalk_obs::span("charac.rb_bin");
         xtalk_obs::counter!("charac.rb.circuits", circuits_per_bin);
         xtalk_obs::counter!("charac.rb.shots", circuits_per_bin * config.shots);
         for (e, rate) in crate::srb::run_rb_bin(device, bin, config) {
             charac.set_independent(e, rate);
         }
+        bins_completed += 1;
+        budget.charge(1);
     }
 
     let mut num_pairs = 0;
+    let mut experiments_run = 0usize;
     for bin in &plan {
+        if budget.exhausted().is_some() {
+            break;
+        }
         let _bin_span = xtalk_obs::span("charac.srb_bin");
         xtalk_obs::counter!("charac.srb.pairs", bin.len() as u64);
         xtalk_obs::counter!("charac.srb.circuits", circuits_per_bin);
@@ -188,14 +225,24 @@ pub fn characterize(
             charac.set_conditional(out.first, out.second, out.first_given_second);
             charac.set_conditional(out.second, out.first, out.second_given_first);
         }
+        bins_completed += 1;
+        experiments_run += 1;
+        budget.charge(1);
     }
 
+    let complete = bins_completed == bins_total;
+    if !complete {
+        xtalk_obs::counter!("charac.truncated", 1);
+    }
     let report = CharacterizationReport {
         policy: policy.name(),
         num_experiments: plan.len(),
         num_pairs,
-        executions: plan.len() as u64 * config.executions(),
-        machine_time_hours: time_model.hours(plan.len(), config.executions()),
+        executions: experiments_run as u64 * config.executions(),
+        machine_time_hours: time_model.hours(experiments_run, config.executions()),
+        bins_completed,
+        bins_total,
+        complete,
     };
     (charac, report)
 }
@@ -276,6 +323,55 @@ mod tests {
             all.executions,
             all.num_experiments as u64 * cfg.executions()
         );
+    }
+
+    #[test]
+    fn complete_sweep_reports_all_bins() {
+        let device = Device::line(6, 1);
+        let (_, report) = characterize(
+            &device,
+            &CharacterizationPolicy::OneHop,
+            &small_config(),
+            &TimeModel::default(),
+        );
+        assert!(report.complete);
+        assert_eq!(report.bins_completed, report.bins_total);
+        assert!(report.bins_total > 0);
+    }
+
+    #[test]
+    fn cancelled_budget_yields_empty_partial() {
+        let device = Device::line(6, 1);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let (charac, report) = characterize_budgeted(
+            &device,
+            &CharacterizationPolicy::OneHop,
+            &small_config(),
+            &TimeModel::default(),
+            &budget,
+        );
+        assert!(!report.complete);
+        assert_eq!(report.bins_completed, 0);
+        assert_eq!(report.executions, 0);
+        assert_eq!(charac.num_conditional(), 0);
+        assert!(charac.try_independent(Edge::new(0, 1)).is_err());
+    }
+
+    #[test]
+    fn quota_budget_stops_between_bins() {
+        let device = Device::line(8, 1);
+        let budget = Budget::unlimited().with_quota(2);
+        let (_, report) = characterize_budgeted(
+            &device,
+            &CharacterizationPolicy::AllPairs,
+            &small_config(),
+            &TimeModel::default(),
+            &budget,
+        );
+        assert!(!report.complete);
+        assert_eq!(report.bins_completed, 2);
+        assert!(report.bins_completed < report.bins_total);
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! mitigation — the measurement methodology of the paper's Section 8.4.
 
 use crate::{CoreError, Scheduler, SchedulerContext};
+use xtalk_budget::Budget;
 use xtalk_device::Device;
 use xtalk_ir::{Circuit, Qubit, ScheduledCircuit};
 use xtalk_sim::mitigation::CalibrationMatrix;
 use xtalk_sim::tomography::{
     bell_phi_plus, expectations_from_distributions, tomography_circuits, DensityMatrix2,
 };
-use xtalk_sim::{ideal, metrics, Counts, Executor, ExecutorConfig};
+use xtalk_sim::{ideal, metrics, Counts, Executor, ExecutorConfig, RunOutcome};
 
 /// Executes a schedule on a device with the given shot budget.
 pub fn run_scheduled(device: &Device, sched: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
@@ -27,6 +28,22 @@ pub fn run_scheduled_threads(
 ) -> Counts {
     let cfg = ExecutorConfig { shots, seed, ..Default::default() };
     Executor::with_config(device, cfg).run_parallel(sched, threads)
+}
+
+/// [`run_scheduled_threads`] under a cooperative [`Budget`], polled at
+/// shot-batch boundaries. The returned [`RunOutcome`] reports the exact
+/// completed-shot prefix; its counts are bit-identical to a fresh run of
+/// exactly `shots_completed` shots at any thread count.
+pub fn run_scheduled_budgeted(
+    device: &Device,
+    sched: &ScheduledCircuit,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    budget: &Budget,
+) -> RunOutcome {
+    let cfg = ExecutorConfig { shots, seed, ..Default::default() };
+    Executor::with_config(device, cfg).run_budgeted(sched, threads, budget)
 }
 
 /// The SWAP-circuit metric (Figures 5–7): schedules the meet-in-the-middle
@@ -180,6 +197,26 @@ mod tests {
     use super::*;
     use crate::bench_circuits::{hidden_shift, qaoa_ansatz};
     use crate::{ParSched, SerialSched, XtalkSched};
+
+    #[test]
+    fn budgeted_run_matches_plain_run_when_unlimited() {
+        let device = Device::line(3, 2);
+        let ctx = SchedulerContext::from_ground_truth(&device);
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let sched = ParSched::new().schedule(&c, &ctx).unwrap();
+        let plain = run_scheduled(&device, &sched, 300, 9);
+        let out = run_scheduled_budgeted(&device, &sched, 300, 9, 2, &Budget::unlimited());
+        assert!(out.complete);
+        assert_eq!(out.shots_completed, 300);
+        assert_eq!(out.counts, plain);
+        // A cancelled budget yields an honest empty prefix.
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let out = run_scheduled_budgeted(&device, &sched, 300, 9, 2, &budget);
+        assert!(!out.complete);
+        assert_eq!(out.shots_completed, 0);
+    }
 
     #[test]
     fn swap_error_is_sane_on_clean_line() {

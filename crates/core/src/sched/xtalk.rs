@@ -3,6 +3,7 @@
 use crate::sched::{check_hardware_compliant, schedule_cost, Scheduler};
 use crate::{realize, CoreError, SchedulerContext};
 use std::collections::BTreeSet;
+use xtalk_budget::Budget;
 use xtalk_device::Edge;
 use xtalk_ir::{Circuit, ScheduledCircuit};
 
@@ -62,6 +63,14 @@ pub struct XtalkSchedReport {
     pub serializations: Vec<(usize, usize)>,
     /// Number of candidate high-crosstalk gate pairs considered.
     pub candidate_pairs: usize,
+    /// `true` iff the decision space was exhausted. `false` means the
+    /// leaf cap or an execution [`Budget`] truncated the search and the
+    /// schedule is best-so-far, not proven optimal.
+    pub complete: bool,
+    /// `true` iff no feasible leaf was reached before truncation and the
+    /// schedule fell back to the unserialized (`ParSched`-equivalent)
+    /// realization.
+    pub fallback: bool,
 }
 
 impl XtalkSched {
@@ -128,6 +137,25 @@ impl XtalkSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        self.schedule_budgeted(circuit, ctx, &Budget::unlimited())
+    }
+
+    /// Schedules under a cooperative [`Budget`], polled at every branch
+    /// point of the lazy search. On exhaustion the best schedule found so
+    /// far is returned with `report.complete == false`; if no feasible
+    /// leaf was reached at all, the unserialized (`ParSched`-equivalent)
+    /// realization is returned with `report.fallback == true` instead of
+    /// failing the request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule_budgeted(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+        budget: &Budget,
+    ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
         let _span = xtalk_obs::span("sched.xtalk");
         check_hardware_compliant(circuit, ctx)?;
         let candidates: BTreeSet<(usize, usize)> =
@@ -142,6 +170,8 @@ impl XtalkSched {
             leaves: 0,
             max_leaves: self.max_leaves,
             ordering: self.ordering,
+            budget,
+            truncated: false,
         };
         let mut serialized = Vec::new();
         let mut waived = BTreeSet::new();
@@ -149,15 +179,42 @@ impl XtalkSched {
 
         xtalk_obs::counter!("sched.xtalk.leaves", search.leaves);
         xtalk_obs::counter!("sched.xtalk.candidate_pairs", candidates.len() as u64);
-        let (cost, sched, serializations) =
-            search.best.ok_or(CoreError::CyclicConstraints)?;
-        let report = XtalkSchedReport {
-            cost,
-            leaves: search.leaves,
-            serializations,
-            candidate_pairs: candidates.len(),
-        };
-        Ok((sched, report))
+        if search.truncated {
+            xtalk_obs::counter!("sched.xtalk.truncated", 1);
+        }
+        let leaves = search.leaves;
+        let complete = !search.truncated;
+        match search.best {
+            Some((cost, sched, serializations)) => {
+                let report = XtalkSchedReport {
+                    cost,
+                    leaves,
+                    serializations,
+                    candidate_pairs: candidates.len(),
+                    complete,
+                    fallback: false,
+                };
+                Ok((sched, report))
+            }
+            // Truncated before any feasible leaf: fall back to the plain
+            // ASAP realization (what ParSched would emit) rather than
+            // erroring — an honest best-effort answer under the budget.
+            None if !complete => {
+                xtalk_obs::counter!("sched.xtalk.fallback", 1);
+                let sched = realize(circuit, ctx, &[])?;
+                let cost = schedule_cost(&sched, ctx, self.omega);
+                let report = XtalkSchedReport {
+                    cost,
+                    leaves,
+                    serializations: Vec::new(),
+                    candidate_pairs: candidates.len(),
+                    complete: false,
+                    fallback: true,
+                };
+                Ok((sched, report))
+            }
+            None => Err(CoreError::CyclicConstraints),
+        }
     }
 
     /// The eager SMT-style formulation: one boolean per serialization
@@ -231,9 +288,9 @@ impl XtalkSched {
         }
 
         let obj = CostObj { circuit, ctx, omega: self.omega, pair_bools: &pair_bools };
-        let sol = xtalk_smt::Optimizer::new(model)
-            .minimize(&obj)
-            .ok_or(CoreError::CyclicConstraints)?;
+        let (sol, outcome) =
+            xtalk_smt::Optimizer::new(model).minimize_budgeted(&obj, &Budget::unlimited());
+        let sol = sol.ok_or(CoreError::CyclicConstraints)?;
         let serializations = obj.serializations(&sol.bools);
         let sched = realize(circuit, ctx, &serializations)?;
         let report = XtalkSchedReport {
@@ -241,6 +298,8 @@ impl XtalkSched {
             leaves: sol.leaves,
             serializations,
             candidate_pairs: candidates.len(),
+            complete: outcome.complete,
+            fallback: false,
         };
         Ok((sched, report))
     }
@@ -272,6 +331,8 @@ struct Search<'a> {
     leaves: u64,
     max_leaves: u64,
     ordering: OrderingPolicy,
+    budget: &'a Budget,
+    truncated: bool,
 }
 
 impl Search<'_> {
@@ -290,7 +351,10 @@ impl Search<'_> {
         serialized: &mut Vec<(usize, usize)>,
         waived: &mut BTreeSet<(usize, usize)>,
     ) {
-        if self.leaves >= self.max_leaves {
+        // Entering a branch with the leaf cap spent or the budget gone
+        // leaves part of the space unexplored: flag the truncation.
+        if self.leaves >= self.max_leaves || self.budget.exhausted().is_some() {
+            self.truncated = true;
             return;
         }
         let Ok(sched) = realize(self.circuit, self.ctx, serialized) else {
@@ -308,6 +372,7 @@ impl Search<'_> {
         match conflict {
             None => {
                 self.leaves += 1;
+                self.budget.charge(1);
                 let cost = schedule_cost(&sched, self.ctx, self.omega);
                 if self.best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                     self.best = Some((cost, sched, serialized.clone()));
@@ -482,5 +547,57 @@ mod tests {
         let (_, report) =
             XtalkSched::new(0.5).with_max_leaves(3).schedule_with_report(&c, &ctx).unwrap();
         assert!(report.leaves <= 3);
+        assert!(!report.complete, "leaf-capped search must be flagged incomplete");
+        assert!(!report.fallback, "a feasible leaf was reached");
+    }
+
+    #[test]
+    fn full_search_is_flagged_complete() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let (_, report) = XtalkSched::new(0.5).schedule_with_report(&c, &ctx).unwrap();
+        assert!(report.complete);
+        assert!(!report.fallback);
+        let (_, smt) = XtalkSched::new(0.5).schedule_via_smt(
+            &{
+                let mut small = Circuit::new(20, 0);
+                small.cx(10, 15).cx(11, 12);
+                small
+            },
+            &ctx,
+        )
+        .unwrap();
+        assert!(smt.complete);
+    }
+
+    #[test]
+    fn cancelled_budget_falls_back_to_parsched_equivalent() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let (sched, report) =
+            XtalkSched::new(0.5).schedule_budgeted(&c, &ctx, &budget).unwrap();
+        assert!(!report.complete);
+        assert!(report.fallback, "no leaf reached: must fall back");
+        assert_eq!(report.leaves, 0);
+        assert!(report.serializations.is_empty());
+        // The fallback is exactly the unserialized ASAP schedule.
+        let par = ParSched::new().schedule(&c, &ctx).unwrap();
+        assert_eq!(sched, par);
+        sched.validate().unwrap();
+    }
+
+    #[test]
+    fn quota_budget_truncates_lazy_search() {
+        let ctx = pough_ctx();
+        let c = hot_circuit();
+        let budget = Budget::unlimited().with_quota(2);
+        let (sched, report) =
+            XtalkSched::new(0.5).schedule_budgeted(&c, &ctx, &budget).unwrap();
+        assert!(!report.complete);
+        assert!(!report.fallback);
+        assert!(report.leaves <= 2);
+        sched.validate().unwrap();
     }
 }

@@ -177,6 +177,27 @@ impl FaultPlan {
     }
 }
 
+/// The canonical spec form: `point:action:prob[:ms]`, comma-separated,
+/// no whitespace, millis always explicit on `delay`. Parsing the
+/// rendered string yields a semantically identical plan (same points,
+/// probabilities and actions), and re-rendering it is a fixed point —
+/// the round-trip contract the spec-grammar property tests pin down.
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            match p.action {
+                Action::Panic => write!(f, "{}:panic:{}", p.name, p.prob)?,
+                Action::Err => write!(f, "{}:err:{}", p.name, p.prob)?,
+                Action::Delay(ms) => write!(f, "{}:delay:{}:{}", p.name, p.prob, ms)?,
+            }
+        }
+        Ok(())
+    }
+}
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
@@ -319,6 +340,22 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad, 0).is_err(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn display_renders_canonical_form_and_reparses() {
+        let plan = FaultPlan::parse(
+            " pool.job:panic:0.01 , codec.read:err:0.05,sim.batch:delay:0.2,x:delay:1.0:25",
+            7,
+        )
+        .unwrap();
+        let canon = plan.to_string();
+        assert_eq!(
+            canon,
+            "pool.job:panic:0.01,codec.read:err:0.05,sim.batch:delay:0.2:10,x:delay:1:25"
+        );
+        let reparsed = FaultPlan::parse(&canon, 7).unwrap();
+        assert_eq!(reparsed.to_string(), canon, "canonical form must be a fixed point");
     }
 
     #[test]

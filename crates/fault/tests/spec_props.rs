@@ -1,0 +1,115 @@
+//! Property tests for the fault-spec grammar (`point:action:prob[:ms]`).
+//!
+//! Two contracts:
+//!
+//! * **Total parsing** — `FaultPlan::parse` never panics, however hostile
+//!   the input: random bytes, near-miss grammar fragments, pathological
+//!   numbers. It returns `Err` for everything it cannot accept.
+//! * **Round-trip** — every valid spec survives `Display`/parse: the
+//!   rendered canonical form reparses to a semantically identical plan
+//!   (same seeded decision stream per point) and re-rendering is a fixed
+//!   point.
+//!
+//! These tests only construct plans locally; they never install into the
+//! process-global registry, so they can run concurrently with anything.
+
+use proptest::prelude::*;
+use xtalk_fault::FaultPlan;
+
+/// Characters that show up in real point names plus benign filler.
+const NAME_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+
+/// Tokens for near-miss grammar fuzzing: valid fragments, junk, and the
+/// grammar's own separators.
+const TOKENS: &[&str] = &[
+    "pool.job", "panic", "err", "delay", "0.5", "1.0", "-0.1", "1.5", "10", "soon", "", " ",
+    "nan", "inf", "1e309", "0x10", "panic:0.5", "::", "p", "18446744073709551616",
+];
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..NAME_ALPHABET.len(), 1..12)
+        .prop_map(|ix| ix.into_iter().map(|i| NAME_ALPHABET[i] as char).collect())
+}
+
+/// One syntactically valid entry; probabilities are multiples of 1/1000
+/// so their shortest `Display` form reparses to the same `f64`.
+fn entry_strategy() -> impl Strategy<Value = String> {
+    (name_strategy(), 0u8..3, 0u32..=1000, 1u64..5000).prop_map(|(name, action, p, ms)| {
+        let prob = p as f64 / 1000.0;
+        match action {
+            0 => format!("{name}:panic:{prob}"),
+            1 => format!("{name}:err:{prob}"),
+            _ => format!("{name}:delay:{prob}:{ms}"),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..80), seed in 0u64..1000) {
+        let s = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = FaultPlan::parse(&s, seed);
+    }
+
+    /// Near-miss inputs assembled from grammar fragments and separators
+    /// never panic, and anything the parser *does* accept must round-trip
+    /// through `Display`/parse to a fixed point.
+    #[test]
+    fn hostile_grammar_fragments_never_panic(
+        picks in prop::collection::vec((0usize..TOKENS.len(), 0u8..3), 0..12),
+        seed in 0u64..1000,
+    ) {
+        let spec: String = picks
+            .into_iter()
+            .map(|(t, sep)| {
+                let sep = match sep {
+                    0 => ":",
+                    1 => ",",
+                    _ => "",
+                };
+                format!("{}{}", TOKENS[t], sep)
+            })
+            .collect();
+        if let Ok(plan) = FaultPlan::parse(&spec, seed) {
+            let canon = plan.to_string();
+            let reparsed = FaultPlan::parse(&canon, seed)
+                .unwrap_or_else(|e| panic!("canonical form `{canon}` rejected: {e}"));
+            prop_assert_eq!(reparsed.to_string(), canon);
+        }
+    }
+
+    /// Valid specs round-trip: the canonical rendering reparses into a
+    /// plan with bit-identical decision streams at every point, and
+    /// rendering is a fixed point.
+    #[test]
+    fn valid_specs_round_trip(
+        entries in prop::collection::vec(entry_strategy(), 1..5),
+        seed in 0u64..1000,
+        pad in 0u8..2,
+    ) {
+        // Whitespace and empty entries are tolerated on input but absent
+        // from the canonical form.
+        let sep = if pad == 0 { "," } else { " , " };
+        let spec = entries.join(sep);
+        let plan = FaultPlan::parse(&spec, seed)
+            .unwrap_or_else(|e| panic!("valid spec `{spec}` rejected: {e}"));
+        let canon = plan.to_string();
+        let reparsed = FaultPlan::parse(&canon, seed)
+            .unwrap_or_else(|e| panic!("canonical form `{canon}` rejected: {e}"));
+        prop_assert_eq!(reparsed.to_string(), canon.clone(), "Display must be a fixed point");
+        prop_assert_eq!(reparsed.seed(), plan.seed());
+
+        // Semantic equality: the seeded decision stream of every point is
+        // unchanged by the round-trip (names keep order; duplicates keep
+        // first-match semantics).
+        for entry in &entries {
+            let point = entry.split(':').next().unwrap();
+            let a: Vec<bool> = (0..32).map(|_| plan.decide(point).is_some()).collect();
+            let b: Vec<bool> = (0..32).map(|_| reparsed.decide(point).is_some()).collect();
+            prop_assert_eq!(&a, &b, "decision stream diverged at `{}`", point);
+        }
+    }
+}

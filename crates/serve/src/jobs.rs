@@ -8,40 +8,91 @@
 //! crosstalk-oblivious `par` scheduler forced
 //! (`"degraded": "independent_fallback"`) — the service answers with a
 //! valid, honestly-labelled schedule instead of an error.
+//!
+//! # Budgets
+//!
+//! Every handler receives the job's [`Budget`] (remaining deadline +
+//! cancel token) and threads it into the budget-aware library layers:
+//! `sleep` slices its wait into checked chunks, `run` uses the
+//! prefix-deterministic [`run_scheduled_budgeted`] executor, `schedule`
+//! uses the anytime [`XtalkSched::schedule_budgeted`] search, and
+//! `characterize` treats a truncated sweep as a failed build riding the
+//! degradation ladder. Truncated jobs still answer `ok: true`, flagged
+//! `"budget_exhausted": true` with provenance (`shots_completed`,
+//! `leaves`, `slept_ms`) saying exactly how far they got.
 
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::protocol::{err_response, ok_response, Request};
+use crate::protocol::{err_response, Request};
 use crate::state::{CharacSource, ServeState};
+use xtalk_budget::Budget;
 use xtalk_charac::Characterization;
 use xtalk_core::layout::route_with_greedy_layout;
 use xtalk_core::optimize::fuse_single_qubit_gates;
-use xtalk_core::pipeline::{run_scheduled_threads, swap_bell_error};
+use xtalk_core::pipeline::{run_scheduled_budgeted, swap_bell_error};
 use xtalk_core::sched::check_hardware_compliant;
 use xtalk_core::transpile::lower_to_native;
-use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_core::{
+    ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched, XtalkSchedReport,
+};
 use xtalk_device::Device;
-use xtalk_ir::{qasm, Circuit};
+use xtalk_ir::{qasm, Circuit, ScheduledCircuit};
 
-/// Executes one heavy request to completion. Light requests (`ping`,
-/// `stats`, `shutdown`, `advance_day`) are answered on the connection
-/// thread and never reach this function.
-pub fn handle(state: &ServeState, req: &Request) -> Json {
-    match run(state, req) {
+/// Executes one heavy request to completion under the job's [`Budget`].
+/// Light requests (`ping`, `stats`, `shutdown`, `advance_day`, `cancel`)
+/// are answered on the connection thread and never reach this function.
+pub fn handle(state: &ServeState, req: &Request, budget: &Budget) -> Json {
+    match run(state, req, budget) {
         Ok(response) => response,
-        Err(message) => err_response(message),
+        Err(message) => {
+            let mut resp = err_response(message);
+            // A job that failed *because* its budget died (e.g. a
+            // truncated characterization with the ladder exhausted) is
+            // labelled so the caller can tell it from a bad request.
+            if let (Some(reason), Json::Obj(pairs)) = (budget.exhausted(), &mut resp) {
+                pairs.push(("budget_exhausted".to_string(), true.into()));
+                pairs.push(("budget_reason".to_string(), reason.as_str().into()));
+            }
+            resp
+        }
     }
 }
 
-fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
+/// Appends the `budget_exhausted` flag (plus the reason) when `truncated`
+/// says the job stopped early.
+fn annotate_budget(fields: &mut Vec<(String, Json)>, budget: &Budget, truncated: bool) {
+    if !truncated {
+        return;
+    }
+    fields.push(("budget_exhausted".to_string(), true.into()));
+    if let Some(reason) = budget.exhausted() {
+        fields.push(("budget_reason".to_string(), reason.as_str().into()));
+    }
+}
+
+fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, String> {
     match req {
         Request::Sleep { ms } => {
-            std::thread::sleep(std::time::Duration::from_millis(*ms));
-            Ok(ok_response([("slept_ms", (*ms).into())]))
+            // Sliced so a deadline or cancel lands within ~10 ms instead
+            // of after the full wait; reports how far it actually got.
+            let mut slept = 0u64;
+            while slept < *ms && budget.exhausted().is_none() {
+                let chunk = (*ms - slept).min(10);
+                std::thread::sleep(std::time::Duration::from_millis(chunk));
+                slept += chunk;
+            }
+            let mut fields = vec![
+                ("slept_ms".to_string(), slept.into()),
+                ("requested_ms".to_string(), (*ms).into()),
+            ];
+            annotate_budget(&mut fields, budget, slept < *ms);
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields);
+            Ok(Json::Obj(pairs))
         }
         Request::Characterize { device, policy, seed, seqs, shots } => {
             let (entry, source) =
-                state.characterization(device, policy, *seed, *seqs, *shots)?;
+                state.characterization_budgeted(device, policy, *seed, *seqs, *shots, budget)?;
             let high: Vec<Json> = entry
                 .charac
                 .high_pairs(3.0)
@@ -79,29 +130,32 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
             Ok(Json::Obj(pairs))
         }
         Request::Schedule { device, qasm, scheduler, omega, policy, seed } => {
-            let (dev, ctx, meta) = context_for(state, device, policy, *seed)?;
+            let (dev, ctx, meta) = context_for(state, device, policy, *seed, budget)?;
             let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let sched_obj = effective_scheduler(scheduler, *omega, &meta)?;
-            let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
+            let (sched, sched_name, report) =
+                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &ctx, budget)?;
             let mut fields = vec![
                 ("device".to_string(), dev.name().into()),
-                ("scheduler".to_string(), sched_obj.name().into()),
+                ("scheduler".to_string(), sched_name.into()),
                 ("makespan_ns".to_string(), sched.makespan().into()),
                 ("instructions".to_string(), sched.circuit().len().into()),
                 ("cached".to_string(), meta.cached.into()),
                 ("epoch".to_string(), state.epoch().into()),
             ];
+            let truncated = annotate_search(&mut fields, &report);
+            annotate_budget(&mut fields, budget, truncated);
             meta.annotate(&mut fields);
             let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
             pairs.extend(fields);
             Ok(Json::Obj(pairs))
         }
         Request::Run { device, qasm, scheduler, omega, policy, shots, seed, threads } => {
-            let (dev, ctx, meta) = context_for(state, device, policy, *seed)?;
+            let (dev, ctx, meta) = context_for(state, device, policy, *seed, budget)?;
             let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let sched_obj = effective_scheduler(scheduler, *omega, &meta)?;
-            let sched = sched_obj.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
-            let counts = run_scheduled_threads(&dev, &sched, *shots, *seed, *threads);
+            let (sched, sched_name, report) =
+                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &ctx, budget)?;
+            let outcome = run_scheduled_budgeted(&dev, &sched, *shots, *seed, *threads, budget);
+            let counts = &outcome.counts;
             let mut entries: Vec<(u64, u64)> = counts.iter().collect();
             entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             let counts_obj = Json::Obj(
@@ -114,26 +168,36 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
             );
             let mut fields = vec![
                 ("device".to_string(), dev.name().into()),
-                ("scheduler".to_string(), sched_obj.name().into()),
+                ("scheduler".to_string(), sched_name.into()),
                 ("makespan_ns".to_string(), sched.makespan().into()),
                 ("shots".to_string(), counts.shots().into()),
+                ("shots_requested".to_string(), outcome.shots_requested.into()),
+                ("shots_completed".to_string(), outcome.shots_completed.into()),
                 ("cached".to_string(), meta.cached.into()),
                 ("counts".to_string(), counts_obj),
             ];
+            let search_truncated = annotate_search(&mut fields, &report);
+            annotate_budget(&mut fields, budget, search_truncated || !outcome.complete);
             meta.annotate(&mut fields);
             let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
             pairs.extend(fields);
             Ok(Json::Obj(pairs))
         }
         Request::SwapDemo { device, from, to, shots, seed } => {
-            let (dev, ctx, _meta) = context_for(state, device, "truth", *seed)?;
+            let (dev, ctx, _meta) = context_for(state, device, "truth", *seed, budget)?;
             let schedulers: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(SerialSched::new()),
                 Box::new(ParSched::new()),
                 Box::new(XtalkSched::new(0.5)),
             ];
+            // Budget checkpoint between schedulers: each leg is a full
+            // tomography run, so a partial demo returns the legs it
+            // finished instead of nothing.
             let mut rows = Vec::new();
             for s in &schedulers {
+                if budget.exhausted().is_some() {
+                    break;
+                }
                 let out = swap_bell_error(&dev, &ctx, s.as_ref(), *from, *to, *shots, *seed)
                     .map_err(|e| e.to_string())?;
                 rows.push(obj([
@@ -142,15 +206,32 @@ fn run(state: &ServeState, req: &Request) -> Result<Json, String> {
                     ("duration_ns", out.duration_ns.into()),
                 ]));
             }
-            Ok(ok_response([
-                ("device", dev.name().into()),
-                ("from", (*from).into()),
-                ("to", (*to).into()),
-                ("results", Json::Arr(rows)),
-            ]))
+            let truncated = rows.len() < schedulers.len();
+            let mut fields = vec![
+                ("device".to_string(), dev.name().into()),
+                ("from".to_string(), (*from).into()),
+                ("to".to_string(), (*to).into()),
+                ("results".to_string(), Json::Arr(rows)),
+            ];
+            annotate_budget(&mut fields, budget, truncated);
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields);
+            Ok(Json::Obj(pairs))
         }
         light => Err(format!("`{}` is not a pooled job", light.kind())),
     }
+}
+
+/// Appends search provenance (`leaves`, `search_complete`, `fallback`)
+/// when the crosstalk search ran; returns `true` if it was truncated.
+fn annotate_search(fields: &mut Vec<(String, Json)>, report: &Option<XtalkSchedReport>) -> bool {
+    let Some(report) = report else { return false };
+    fields.push(("leaves".to_string(), report.leaves.into()));
+    fields.push(("search_complete".to_string(), report.complete.into()));
+    if report.fallback {
+        fields.push(("fallback".to_string(), true.into()));
+    }
+    !report.complete
 }
 
 /// How the scheduler context for a job was obtained.
@@ -188,12 +269,13 @@ fn context_for(
     device: &str,
     policy: &str,
     seed: u64,
+    budget: &Budget,
 ) -> Result<(Device, SchedulerContext, ContextMeta), String> {
     let dev = state.device(device)?;
     if !matches!(policy, "truth" | "all" | "onehop" | "binpacked") {
         return Err(format!("unknown policy `{policy}`"));
     }
-    match state.characterization(device, policy, seed, 3, 96) {
+    match state.characterization_budgeted(device, policy, seed, 3, 96, budget) {
         Ok((entry, source)) => {
             let ctx = SchedulerContext::new(&dev, entry.charac.clone());
             let meta = match source {
@@ -236,21 +318,35 @@ fn context_for(
     }
 }
 
-/// The scheduler a job actually runs with: the requested one, unless the
-/// context degraded to rung 3 (no conditional terms), in which case the
-/// crosstalk-oblivious `par` replaces it. The requested name is still
-/// validated so a typo fails loudly rather than being masked by the
-/// degradation.
-fn effective_scheduler(
+/// Schedules with the scheduler a job actually runs with: the requested
+/// one, unless the context degraded to rung 3 (no conditional terms), in
+/// which case the crosstalk-oblivious `par` replaces it. The requested
+/// name is still validated so a typo fails loudly rather than being
+/// masked by the degradation. The crosstalk scheduler gets the job's
+/// [`Budget`] threaded into its anytime search (and returns its search
+/// report); `par`/`serial` are single-pass and run unbudgeted.
+fn schedule_budget_aware(
     name: &str,
     omega: f64,
     meta: &ContextMeta,
-) -> Result<Box<dyn Scheduler>, String> {
+    circuit: &Circuit,
+    ctx: &SchedulerContext,
+    budget: &Budget,
+) -> Result<(ScheduledCircuit, String, Option<XtalkSchedReport>), String> {
     let requested = scheduler_by_name(name, omega)?;
     if meta.force_par {
-        return Ok(Box::new(ParSched::new()));
+        let par = ParSched::new();
+        let sched = par.schedule(circuit, ctx).map_err(|e| e.to_string())?;
+        return Ok((sched, par.name().to_string(), None));
     }
-    Ok(requested)
+    if name == "xtalk" {
+        let xt = XtalkSched::new(omega);
+        let (sched, report) =
+            xt.schedule_budgeted(circuit, ctx, budget).map_err(|e| e.to_string())?;
+        return Ok((sched, xt.name().to_string(), Some(report)));
+    }
+    let sched = requested.schedule(circuit, ctx).map_err(|e| e.to_string())?;
+    Ok((sched, requested.name().to_string(), None))
 }
 
 /// Names a scheduler the same way the CLI does.
@@ -302,6 +398,16 @@ mod tests {
     use crate::state::{ServeConfig, ServeState};
 
     const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+
+    fn handle(state: &ServeState, req: &Request) -> Json {
+        super::handle(state, req, &Budget::unlimited())
+    }
+
+    fn cancelled_budget() -> Budget {
+        let b = Budget::unlimited();
+        b.cancel_token().cancel();
+        b
+    }
 
     #[test]
     fn run_job_returns_counts() {
@@ -404,5 +510,81 @@ mod tests {
         };
         let resp = handle(&state, &bad);
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn cancelled_run_returns_flagged_empty_partial() {
+        let _gate = crate::testutil::fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Run {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "par".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            shots: 128,
+            seed: 3,
+            threads: 1,
+        };
+        let resp = super::handle(&state, &req, &cancelled_budget());
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+        assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("budget_reason").and_then(Json::as_str), Some("cancelled"));
+        assert_eq!(resp.get("shots_completed").and_then(Json::as_u64), Some(0));
+        assert_eq!(resp.get("shots_requested").and_then(Json::as_u64), Some(128));
+        assert_eq!(resp.get("shots").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn complete_run_reports_full_provenance_without_flag() {
+        let _gate = crate::testutil::fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Run {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "xtalk".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            shots: 128,
+            seed: 3,
+            threads: 1,
+        };
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+        assert_eq!(resp.get("budget_exhausted"), None);
+        assert_eq!(resp.get("shots_completed").and_then(Json::as_u64), Some(128));
+        assert_eq!(resp.get("search_complete").and_then(Json::as_bool), Some(true));
+        assert!(resp.get("leaves").and_then(Json::as_u64).unwrap() >= 1);
+    }
+
+    #[test]
+    fn cancelled_sleep_reports_progress() {
+        let _gate = crate::testutil::fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        let resp =
+            super::handle(&state, &Request::Sleep { ms: 60_000 }, &cancelled_budget());
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("slept_ms").and_then(Json::as_u64), Some(0));
+        assert_eq!(resp.get("requested_ms").and_then(Json::as_u64), Some(60_000));
+    }
+
+    #[test]
+    fn cancelled_xtalk_schedule_falls_back_and_is_flagged() {
+        let _gate = crate::testutil::fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        let req = Request::Schedule {
+            device: "poughkeepsie".into(),
+            qasm: BELL.into(),
+            scheduler: "xtalk".into(),
+            omega: 0.5,
+            policy: "truth".into(),
+            seed: 3,
+        };
+        let resp = super::handle(&state, &req, &cancelled_budget());
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+        assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("search_complete").and_then(Json::as_bool), Some(false));
+        assert!(resp.get("makespan_ns").and_then(Json::as_u64).unwrap() > 0);
     }
 }

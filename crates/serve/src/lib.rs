@@ -6,7 +6,15 @@
 //! * **Wire protocol** — line-delimited JSON over TCP with a hand-rolled
 //!   codec ([`protocol`], [`json`]). Requests: `ping`, `stats`,
 //!   `shutdown`, `advance_day`, `sleep`, `characterize`, `schedule`,
-//!   `run`, `swap_demo`.
+//!   `run`, `swap_demo`, `cancel`.
+//! * **End-to-end deadlines** — any heavy request may carry
+//!   `"deadline_ms"` (and a `"job"` label for `cancel`); the budget is
+//!   pinned at arrival so queue wait counts against it, requests whose
+//!   budget is already smaller than the observed queue-wait p90 are
+//!   refused at admission (`rejected_admission`, retryable), and jobs
+//!   whose budget expires mid-flight come back `ok: true` with
+//!   `"budget_exhausted": true` plus exact progress provenance
+//!   (`shots_completed`, `leaves`, `slept_ms`) — see [`xtalk_budget`].
 //! * **Worker pool** — a supervised, fixed-size set of OS threads pulling
 //!   from one bounded queue ([`pool`]); when the queue is full the server
 //!   answers `{"ok":false,"busy":true}` instead of buffering unboundedly.
@@ -62,7 +70,7 @@ pub mod state;
 
 pub use client::{is_busy, Client, RetryPolicy};
 pub use json::Json;
-pub use protocol::{is_retryable, Request};
+pub use protocol::{is_retryable, JobEnvelope, Request};
 pub use server::Server;
 pub use state::{ServeConfig, ServeState};
 

@@ -3,6 +3,7 @@
 
 use crate::json::{obj, Json};
 use std::sync::atomic::{AtomicU64, Ordering};
+use xtalk_obs::Histogram;
 
 /// Counter registry. All counters are monotonic except `queue_depth`,
 /// which tracks the jobs currently waiting in (or admitted to) the pool.
@@ -44,6 +45,17 @@ pub struct Metrics {
     pub degraded_stale: AtomicU64,
     /// Requests degraded all the way to the independent-error model.
     pub degraded_independent: AtomicU64,
+    /// Deadline-bearing requests refused on arrival because the observed
+    /// queue wait already exceeded their budget.
+    pub rejected_admission: AtomicU64,
+    /// Jobs whose cancel token a `cancel` request tripped while they were
+    /// queued or running.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs answered with a `budget_exhausted` best-effort partial.
+    pub partial_results: AtomicU64,
+    /// Queue wait (admission → dequeue) in microseconds; its p90 drives
+    /// admission control for deadline-bearing requests.
+    pub queue_wait_micros: Histogram,
 }
 
 impl Metrics {
@@ -64,6 +76,17 @@ impl Metrics {
         let _ = self
             .queue_depth
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)));
+    }
+
+    /// Records how long a job sat queued before a worker picked it up.
+    pub fn queue_wait_recorded(&self, micros: u64) {
+        self.queue_wait_micros.record(micros);
+    }
+
+    /// The observed 90th-percentile queue wait in whole milliseconds
+    /// (octave resolution; 0 until any job has been dequeued).
+    pub fn queue_wait_p90_ms(&self) -> u64 {
+        self.queue_wait_micros.quantile(0.90) / 1000
     }
 
     /// Notes a job leaving the pool after `micros` of work.
@@ -104,6 +127,13 @@ impl Metrics {
             ("charac_failures", load(&self.charac_failures).into()),
             ("degraded_stale", load(&self.degraded_stale).into()),
             ("degraded_independent", load(&self.degraded_independent).into()),
+            ("rejected_admission", load(&self.rejected_admission).into()),
+            ("jobs_cancelled", load(&self.jobs_cancelled).into()),
+            ("partial_results", load(&self.partial_results).into()),
+            ("queue_wait_p50_ms", (self.queue_wait_micros.quantile(0.50) / 1000).into()),
+            ("queue_wait_p90_ms", self.queue_wait_p90_ms().into()),
+            ("queue_wait_p99_ms", (self.queue_wait_micros.quantile(0.99) / 1000).into()),
+            ("queue_wait_max_ms", (self.queue_wait_micros.max() / 1000).into()),
             ("mean_job_ms", Json::Num((mean_ms * 1000.0).round() / 1000.0)),
         ])
     }
@@ -133,6 +163,9 @@ impl Metrics {
             ("charac failures", load(&self.charac_failures)),
             ("stale-degraded", load(&self.degraded_stale)),
             ("independent-degraded", load(&self.degraded_independent)),
+            ("admission-rejected", load(&self.rejected_admission)),
+            ("cancelled", load(&self.jobs_cancelled)),
+            ("partial", load(&self.partial_results)),
         ];
         if resilience.iter().any(|&(_, n)| n > 0) {
             let parts: Vec<String> = resilience
@@ -167,5 +200,36 @@ mod tests {
         assert_eq!(s.get("queue_peak").and_then(Json::as_u64), Some(2));
         assert_eq!(s.get("mean_job_ms").and_then(Json::as_f64), Some(1.0));
         assert!(m.summary().contains("2 requests"));
+    }
+
+    #[test]
+    fn queue_wait_percentiles_drive_admission() {
+        let m = Metrics::default();
+        assert_eq!(m.queue_wait_p90_ms(), 0, "no samples: always admit");
+        // 8 fast dequeues (~1 ms) and two slow (~1 s): the p90 lands in
+        // the slow octave, the p50 in the fast one.
+        for _ in 0..8 {
+            m.queue_wait_recorded(1_000);
+        }
+        m.queue_wait_recorded(1_000_000);
+        m.queue_wait_recorded(1_000_000);
+        let s = m.snapshot();
+        let p50 = s.get("queue_wait_p50_ms").and_then(Json::as_u64).unwrap();
+        let p90 = s.get("queue_wait_p90_ms").and_then(Json::as_u64).unwrap();
+        assert!(p50 <= 2, "p50 {p50} ms");
+        assert!(p90 >= 500, "p90 {p90} ms");
+        assert_eq!(s.get("queue_wait_max_ms").and_then(Json::as_u64), Some(1_000));
+        // New counters surface in the snapshot and the summary.
+        Metrics::inc(&m.rejected_admission);
+        Metrics::inc(&m.jobs_cancelled);
+        Metrics::inc(&m.partial_results);
+        let s = m.snapshot();
+        assert_eq!(s.get("rejected_admission").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("jobs_cancelled").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("partial_results").and_then(Json::as_u64), Some(1));
+        let line = m.summary();
+        assert!(line.contains("1 admission-rejected"), "{line}");
+        assert!(line.contains("1 cancelled"), "{line}");
+        assert!(line.contains("1 partial"), "{line}");
     }
 }

@@ -41,6 +41,7 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryS
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xtalk_budget::{Budget, CancelToken};
 
 /// A unit of work: the decoded request plus the channel the connection
 /// thread is waiting on.
@@ -50,6 +51,30 @@ pub struct Job {
     /// Where the response goes; the send is allowed to fail (the caller
     /// may have timed out and hung up).
     pub reply: mpsc::Sender<Json>,
+    /// When the request was admitted; the gap to dequeue is the queue
+    /// wait, recorded into the admission-control histogram.
+    pub enqueued_at: Instant,
+    /// Absolute deadline (arrival + `deadline_ms`), if the request
+    /// carried one. Queue wait counts against it: the worker hands the
+    /// job only the remainder.
+    pub deadline: Option<Instant>,
+    /// Cancel token a `cancel` request can trip while the job is queued
+    /// or running.
+    pub cancel: CancelToken,
+}
+
+impl Job {
+    /// An unbudgeted job admitted now — the common case for light tests
+    /// and requests without a deadline envelope.
+    pub fn new(request: Request, reply: mpsc::Sender<Json>) -> Job {
+        Job {
+            request,
+            reply,
+            enqueued_at: Instant::now(),
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
+    }
 }
 
 /// What flows through the queue: work, or a stop sentinel consumed by
@@ -277,6 +302,20 @@ fn worker_loop(shared: &Shared, slot: usize) {
         if let Some(msg) = xtalk_fault::fire("pool.job") {
             panic!("{msg}");
         }
+        // Queue wait is over: record it (it feeds admission control) and
+        // hand the job only the budget remainder. The deadline is
+        // absolute, so the deduction is implicit; an already-expired job
+        // still runs its handler, which sees a dead budget at its first
+        // checkpoint and answers with a zero-progress partial.
+        shared
+            .state
+            .metrics
+            .queue_wait_recorded(job.enqueued_at.elapsed().as_micros() as u64);
+        let budget = match job.deadline {
+            Some(deadline) => Budget::with_deadline_at(deadline),
+            None => Budget::unlimited(),
+        }
+        .with_cancel_token(job.cancel.clone());
         let start = Instant::now();
         let response = {
             // Per-job span: formats the path only when profiling is on.
@@ -285,7 +324,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
             } else {
                 None
             };
-            catch_unwind(AssertUnwindSafe(|| jobs::handle(&shared.state, &job.request)))
+            catch_unwind(AssertUnwindSafe(|| jobs::handle(&shared.state, &job.request, &budget)))
                 .unwrap_or_else(|panic| {
                     // A panic under fault injection (or any other
                     // transient) may not recur: let the client retry.
@@ -295,6 +334,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                     ))
                 })
         };
+        if response.get("budget_exhausted").and_then(Json::as_bool) == Some(true) {
+            crate::metrics::Metrics::inc(&shared.state.metrics.partial_results);
+            xtalk_obs::counter!("serve.job.partial");
+        }
         let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
         shared.state.metrics.job_finished(start.elapsed().as_micros() as u64, ok);
         *shared.inflight[slot].lock().unwrap() = None;
@@ -327,7 +370,7 @@ mod tests {
     use crate::state::ServeConfig;
 
     fn sleep_job(ms: u64, reply: mpsc::Sender<Json>) -> Job {
-        Job { request: Request::Sleep { ms }, reply }
+        Job::new(Request::Sleep { ms }, reply)
     }
 
     #[test]
@@ -387,12 +430,42 @@ mod tests {
         // error that `jobs::handle` turns into an error response (not a
         // panic) — exercise the error path end to end.
         assert_eq!(
-            pool.handle().try_submit(Job { request: Request::Stats, reply: tx }),
+            pool.handle().try_submit(Job::new(Request::Stats, tx)),
             Submit::Accepted
         );
         let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
         pool.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_and_worker_survives() {
+        let state = ServeState::new(ServeConfig::default());
+        let pool = Pool::new(1, 4, state.clone());
+        let (tx, rx) = mpsc::channel();
+        // Queue wait ate the whole budget: the handler sees a dead budget
+        // at its first checkpoint and answers a zero-progress partial.
+        state.metrics.job_enqueued();
+        let mut job = Job::new(Request::Sleep { ms: 5_000 }, tx.clone());
+        job.deadline = Some(Instant::now() - Duration::from_millis(1));
+        assert_eq!(pool.handle().try_submit(job), Submit::Accepted);
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("slept_ms").and_then(Json::as_u64), Some(0));
+        // The same worker slot takes the next job — no quarantine, no
+        // respawn.
+        state.metrics.job_enqueued();
+        assert_eq!(pool.handle().try_submit(sleep_job(1, tx)), Submit::Accepted);
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("budget_exhausted"), None);
+        pool.shutdown();
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        assert_eq!(load(&state.metrics.workers_respawned), 0);
+        assert_eq!(load(&state.metrics.partial_results), 1);
+        assert_eq!(load(&state.metrics.jobs_ok), 2, "partials still count as served");
+        assert!(state.metrics.queue_wait_micros.count() >= 2);
     }
 
     #[test]

@@ -22,6 +22,18 @@
 //! `codec.read`/`codec.write` fault-injection points; an injected fault
 //! surfaces as [`io::ErrorKind::ConnectionReset`], exactly like a peer
 //! vanishing mid-frame.
+//!
+//! # Budget envelope
+//!
+//! Any heavy request may additionally carry a [`JobEnvelope`]:
+//! `"deadline_ms"` (an end-to-end budget measured from arrival, queue
+//! wait included) and `"job"` (a client-chosen label a later
+//! `{"type":"cancel","job":...}` can name). Deadline-bounded requests
+//! whose budget expires mid-job come back `ok: true` with
+//! `"budget_exhausted": true` plus provenance (`shots_completed`,
+//! `leaves`, `slept_ms`, ...) describing the best-effort partial result.
+//! Requests refused on arrival because the observed queue wait already
+//! exceeds their budget get [`rejected_admission_response`] (retryable).
 
 use crate::json::{obj, Json};
 use std::io::{self, BufRead, Read, Write};
@@ -97,6 +109,12 @@ pub enum Request {
         seed: u64,
         /// Executor threads (0 = all available parallelism).
         threads: usize,
+    },
+    /// Cancels an in-flight (queued or running) job by its client-chosen
+    /// `"job"` label, tripping the cancel token its budget polls.
+    Cancel {
+        /// The label the job was submitted with.
+        job: String,
     },
     /// The SWAP-circuit benchmark between two qubits, comparing all three
     /// schedulers (the paper's Figure 5 demo).
@@ -175,6 +193,13 @@ impl Request {
                 seed: u64_field("seed", 7)?,
                 threads: u64_field("threads", 0)? as usize,
             }),
+            "cancel" => Ok(Request::Cancel {
+                job: v
+                    .get("job")
+                    .and_then(Json::as_str)
+                    .ok_or("`cancel` needs a `job` string")?
+                    .to_string(),
+            }),
             "swap_demo" => Ok(Request::SwapDemo {
                 device: str_field("device", "poughkeepsie"),
                 from: u64_field("from", 0)? as u32,
@@ -197,6 +222,7 @@ impl Request {
             Request::Characterize { .. } => "characterize",
             Request::Schedule { .. } => "schedule",
             Request::Run { .. } => "run",
+            Request::Cancel { .. } => "cancel",
             Request::SwapDemo { .. } => "swap_demo",
         }
     }
@@ -212,6 +238,39 @@ impl Request {
                 | Request::Run { .. }
                 | Request::SwapDemo { .. }
         )
+    }
+}
+
+/// Budget/cancellation envelope accepted alongside any heavy request,
+/// parsed separately from the request body so every job type carries it
+/// uniformly (see the module docs).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct JobEnvelope {
+    /// End-to-end deadline in milliseconds, measured from request
+    /// arrival — queue wait counts against it.
+    pub deadline_ms: Option<u64>,
+    /// Client-chosen label a `cancel` request can name while the job is
+    /// queued or running. Labels are expected to be unique among
+    /// in-flight jobs; a duplicate simply retargets `cancel` at the
+    /// newest holder.
+    pub job: Option<String>,
+}
+
+impl JobEnvelope {
+    /// Decodes the envelope fields from a request object. Absent fields
+    /// are fine; present fields must be well-typed.
+    pub fn parse(v: &Json) -> Result<JobEnvelope, String> {
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(x) => {
+                Some(x.as_u64().ok_or("`deadline_ms` must be a non-negative integer")?)
+            }
+        };
+        let job = match v.get("job") {
+            None => None,
+            Some(x) => Some(x.as_str().ok_or("`job` must be a string")?.to_string()),
+        };
+        Ok(JobEnvelope { deadline_ms, job })
     }
 }
 
@@ -254,6 +313,27 @@ pub fn shutting_down_response() -> Json {
         ("shutting_down", true.into()),
         ("retryable", true.into()),
         ("error", "server shutting down: job not executed".into()),
+    ])
+}
+
+/// The admission-control rejection: the queue's observed wait already
+/// exceeds the request's deadline, so executing it could only yield an
+/// expired result. Retryable — the queue may drain, or the client can
+/// resubmit with a larger budget.
+pub fn rejected_admission_response(deadline_ms: u64, wait_p90_ms: u64) -> Json {
+    obj([
+        ("ok", false.into()),
+        ("rejected_admission", true.into()),
+        ("retryable", true.into()),
+        ("deadline_ms", deadline_ms.into()),
+        ("queue_wait_p90_ms", wait_p90_ms.into()),
+        (
+            "error",
+            Json::Str(format!(
+                "admission control: observed queue wait (p90 {wait_p90_ms} ms) \
+                 already exceeds the {deadline_ms} ms deadline"
+            )),
+        ),
     ])
 }
 
@@ -348,7 +428,33 @@ mod tests {
     fn heavy_classification() {
         assert!(!Request::Ping.is_heavy());
         assert!(!Request::Stats.is_heavy());
+        assert!(!Request::Cancel { job: "j".into() }.is_heavy());
         assert!(Request::Sleep { ms: 1 }.is_heavy());
+    }
+
+    #[test]
+    fn envelope_parses_and_validates() {
+        let v = Json::parse(r#"{"type":"run","qasm":"x","deadline_ms":250,"job":"bell-1"}"#)
+            .unwrap();
+        let env = JobEnvelope::parse(&v).unwrap();
+        assert_eq!(env.deadline_ms, Some(250));
+        assert_eq!(env.job.as_deref(), Some("bell-1"));
+        // Absent fields are fine.
+        let bare = Json::parse(r#"{"type":"ping"}"#).unwrap();
+        assert_eq!(JobEnvelope::parse(&bare).unwrap(), JobEnvelope::default());
+        // Mis-typed fields are loud.
+        let bad = Json::parse(r#"{"deadline_ms":"soon"}"#).unwrap();
+        assert!(JobEnvelope::parse(&bad).is_err());
+        let bad = Json::parse(r#"{"job":3}"#).unwrap();
+        assert!(JobEnvelope::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn cancel_request_needs_a_job_label() {
+        let v = Json::parse(r#"{"type":"cancel","job":"bell-1"}"#).unwrap();
+        assert_eq!(Request::parse(&v).unwrap(), Request::Cancel { job: "bell-1".into() });
+        let v = Json::parse(r#"{"type":"cancel"}"#).unwrap();
+        assert!(Request::parse(&v).is_err());
     }
 
     #[test]
@@ -376,6 +482,7 @@ mod tests {
     fn taxonomy_separates_retryable_from_fatal() {
         assert!(is_retryable(&busy_response()));
         assert!(is_retryable(&shutting_down_response()));
+        assert!(is_retryable(&rejected_admission_response(50, 120)));
         assert!(is_retryable(&quarantined_response("run", "injected")));
         assert!(is_retryable(&retryable_err_response("worker hiccup")));
         assert!(!is_retryable(&err_response("unknown device")));

@@ -4,8 +4,8 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::pool::{Job, Pool, PoolHandle, Submit};
 use crate::protocol::{
-    busy_response, err_response, ok_response, read_frame, shutting_down_response, write_frame,
-    Request,
+    busy_response, err_response, ok_response, read_frame, rejected_admission_response,
+    shutting_down_response, write_frame, JobEnvelope, Request,
 };
 use crate::state::{ServeConfig, ServeState};
 use std::io::{self, BufReader};
@@ -14,6 +14,8 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xtalk_budget::CancelToken;
 
 /// A running job server.
 ///
@@ -141,17 +143,38 @@ fn serve_connection(
                 continue;
             }
         };
-        let response = dispatch(state, pool, request);
+        let envelope = match JobEnvelope::parse(&frame) {
+            Ok(e) => e,
+            Err(msg) => {
+                Metrics::inc(&state.metrics.bad_requests);
+                write_frame(&mut writer, &err_response(msg))?;
+                continue;
+            }
+        };
+        let response = dispatch(state, pool, request, envelope);
         write_frame(&mut writer, &response)?;
     }
 }
 
 /// Routes one request: light ones inline, heavy ones through the pool
-/// with backpressure and a reply timeout.
-fn dispatch(state: &Arc<ServeState>, pool: &PoolHandle, request: Request) -> Json {
+/// with backpressure, admission control for deadline-bearing requests,
+/// and a reply timeout.
+fn dispatch(
+    state: &Arc<ServeState>,
+    pool: &PoolHandle,
+    request: Request,
+    envelope: JobEnvelope,
+) -> Json {
     if !request.is_heavy() {
         return match request {
             Request::Ping => ok_response([("pong", true.into())]),
+            Request::Cancel { job } => {
+                let cancelled = state.cancel_job(&job);
+                ok_response([
+                    ("job", Json::Str(job)),
+                    ("cancelled", cancelled.into()),
+                ])
+            }
             Request::Stats => {
                 let mut snapshot = state.metrics.snapshot();
                 if let Json::Obj(pairs) = &mut snapshot {
@@ -181,33 +204,63 @@ fn dispatch(state: &Arc<ServeState>, pool: &PoolHandle, request: Request) -> Jso
         };
     }
 
+    // Admission control: a request whose budget is already smaller than
+    // the queue's observed wait can only come back expired — refuse it up
+    // front (retryable) instead of wasting a worker on it.
+    let arrival = Instant::now();
+    if let Some(deadline_ms) = envelope.deadline_ms {
+        let wait_p90_ms = state.metrics.queue_wait_p90_ms();
+        if wait_p90_ms > deadline_ms {
+            Metrics::inc(&state.metrics.rejected_admission);
+            xtalk_obs::counter!("serve.admission.rejected");
+            return rejected_admission_response(deadline_ms, wait_p90_ms);
+        }
+    }
+    let deadline = envelope.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
+    // Register the cancel label before the job can start: a `cancel` must
+    // be able to reach a job that is still queued.
+    let cancel = match envelope.job.as_deref() {
+        Some(label) => state.register_cancel(label),
+        None => CancelToken::new(),
+    };
+
     let (reply_tx, reply_rx) = mpsc::channel();
     // Gauge up *before* submitting: a fast worker may finish (and
     // decrement) before a post-submit increment would land.
     state.metrics.job_enqueued();
-    match pool.try_submit(Job { request, reply: reply_tx }) {
-        Submit::Accepted => {}
+    let submitted = pool.try_submit(Job {
+        request,
+        reply: reply_tx,
+        enqueued_at: arrival,
+        deadline,
+        cancel,
+    });
+    let response = match submitted {
+        Submit::Accepted => match reply_rx.recv_timeout(state.config.job_timeout) {
+            Ok(response) => response,
+            Err(RecvTimeoutError::Timeout) => {
+                Metrics::inc(&state.metrics.jobs_timed_out);
+                err_response(format!(
+                    "job timed out after {:?} (it keeps running; raise the server's job timeout for long jobs)",
+                    state.config.job_timeout
+                ))
+            }
+            Err(RecvTimeoutError::Disconnected) => err_response("worker dropped the job"),
+        },
         Submit::Full => {
             state.metrics.job_rejected();
             Metrics::inc(&state.metrics.busy_rejections);
-            return busy_response();
+            busy_response()
         }
         Submit::ShuttingDown => {
             state.metrics.job_rejected();
-            return shutting_down_response();
+            shutting_down_response()
         }
+    };
+    if let Some(label) = envelope.job.as_deref() {
+        state.unregister_cancel(label);
     }
-    match reply_rx.recv_timeout(state.config.job_timeout) {
-        Ok(response) => response,
-        Err(RecvTimeoutError::Timeout) => {
-            Metrics::inc(&state.metrics.jobs_timed_out);
-            err_response(format!(
-                "job timed out after {:?} (it keeps running; raise the server's job timeout for long jobs)",
-                state.config.job_timeout
-            ))
-        }
-        Err(RecvTimeoutError::Disconnected) => err_response("worker dropped the job"),
-    }
+    response
 }
 
 /// The server's own listen address, for the shutdown self-poke. The

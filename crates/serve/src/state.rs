@@ -28,8 +28,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use xtalk_budget::{Budget, CancelToken};
 use xtalk_charac::policy::TimeModel;
-use xtalk_charac::{characterize, Characterization, CharacterizationPolicy, RbConfig};
+use xtalk_charac::{characterize_budgeted, Characterization, CharacterizationPolicy, RbConfig};
 use xtalk_device::Device;
 
 /// Where a characterization came from, for response flagging.
@@ -119,6 +120,11 @@ pub struct ServeState {
     /// map survives `advance_day`: it exists precisely so a *failed*
     /// rebuild can fall back to the previous epoch's result.
     lkg: Mutex<LkgMap>,
+    /// In-flight cancellable jobs: client-chosen label → the cancel token
+    /// the job's [`Budget`] polls. Registered at admission (so a queued
+    /// job can be cancelled before it runs), unregistered by the
+    /// connection thread once the reply lands.
+    cancels: Mutex<HashMap<String, CancelToken>>,
 }
 
 /// Last-known-good side table: `(device, policy, seed)` → the epoch a
@@ -140,7 +146,40 @@ impl ServeState {
             epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             lkg: Mutex::new(HashMap::new()),
+            cancels: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Registers a fresh cancel token under `label`, returning the token
+    /// the job's budget should poll. A duplicate label simply replaces
+    /// the previous registration (newest in-flight job wins).
+    pub fn register_cancel(&self, label: &str) -> CancelToken {
+        let token = CancelToken::new();
+        self.cancels.lock().unwrap().insert(label.to_string(), token.clone());
+        token
+    }
+
+    /// Drops the registration for `label` (the job replied or was
+    /// rejected). Idempotent.
+    pub fn unregister_cancel(&self, label: &str) {
+        self.cancels.lock().unwrap().remove(label);
+    }
+
+    /// Trips the cancel token registered under `label`, if any. Returns
+    /// `true` when a registered job was found — `false` means the label
+    /// is unknown or the job already finished (not an error: cancels
+    /// race completions by nature).
+    pub fn cancel_job(&self, label: &str) -> bool {
+        let found = self.cancels.lock().unwrap().get(label).cloned();
+        match found {
+            Some(token) => {
+                token.cancel();
+                Metrics::inc(&self.metrics.jobs_cancelled);
+                xtalk_obs::counter!("serve.job.cancelled");
+                true
+            }
+            None => false,
+        }
     }
 
     /// The current calibration epoch.
@@ -190,6 +229,23 @@ impl ServeState {
         seqs: usize,
         shots: u64,
     ) -> Result<(Arc<CacheEntry>, CharacSource), String> {
+        self.characterization_budgeted(device_name, policy, seed, seqs, shots, &Budget::unlimited())
+    }
+
+    /// [`ServeState::characterization`] under a cooperative [`Budget`].
+    /// A budget-truncated build is treated exactly like a failed one: the
+    /// partial tables are *not* cached (they would poison every later
+    /// request sharing the key) and the request rides the degradation
+    /// ladder — stale last-known-good, then the independent model.
+    pub fn characterization_budgeted(
+        &self,
+        device_name: &str,
+        policy: &str,
+        seed: u64,
+        seqs: usize,
+        shots: u64,
+        budget: &Budget,
+    ) -> Result<(Arc<CacheEntry>, CharacSource), String> {
         let device = self.device(device_name)?;
         let policy_obj = match policy {
             "truth" => None,
@@ -221,11 +277,11 @@ impl ServeState {
                 if let Some(msg) = xtalk_fault::fire("charac.run") {
                     return Err(format!("characterization failed: {msg}"));
                 }
-                Ok(match policy_obj {
-                    None => CacheEntry {
+                match policy_obj {
+                    None => Ok(CacheEntry {
                         charac: Characterization::from_ground_truth(&device),
                         report: None,
-                    },
+                    }),
                     Some(p) => {
                         let config = RbConfig {
                             seqs_per_length: seqs.max(1),
@@ -234,10 +290,19 @@ impl ServeState {
                             ..Default::default()
                         };
                         let (charac, report) =
-                            characterize(&device, &p, &config, &TimeModel::default());
-                        CacheEntry { charac, report: Some(report) }
+                            characterize_budgeted(&device, &p, &config, &TimeModel::default(), budget);
+                        if !report.complete {
+                            // A truncated sweep is a failed build: partial
+                            // tables must not enter the cache or the LKG
+                            // side-table.
+                            return Err(format!(
+                                "characterization budget exhausted after {}/{} bins",
+                                report.bins_completed, report.bins_total
+                            ));
+                        }
+                        Ok(CacheEntry { charac, report: Some(report) })
                     }
-                })
+                }
             }));
             match built {
                 Ok(Ok(entry)) => {
@@ -335,6 +400,51 @@ mod tests {
         xtalk_fault::clear();
         assert!(state.metrics.degraded_stale.load(Ordering::Relaxed) >= 1);
         assert!(state.metrics.charac_failures.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn cancel_registry_trips_tokens_by_label() {
+        let state = ServeState::new(ServeConfig::default());
+        let token = state.register_cancel("bell-1");
+        assert!(!token.is_cancelled());
+        assert!(!state.cancel_job("nonesuch"), "unknown label is a miss");
+        assert!(state.cancel_job("bell-1"));
+        assert!(token.is_cancelled());
+        assert_eq!(state.metrics.jobs_cancelled.load(Ordering::Relaxed), 1);
+        // After unregistration the label no longer resolves.
+        state.unregister_cancel("bell-1");
+        assert!(!state.cancel_job("bell-1"));
+        // A duplicate label retargets at the newest token.
+        let first = state.register_cancel("dup");
+        let second = state.register_cancel("dup");
+        assert!(state.cancel_job("dup"));
+        assert!(!first.is_cancelled());
+        assert!(second.is_cancelled());
+    }
+
+    #[test]
+    fn budget_truncated_build_rides_the_ladder_without_caching() {
+        let _gate = fault_gate();
+        let state = ServeState::new(ServeConfig::default());
+        // An exhausted budget truncates the RB sweep immediately: with no
+        // LKG the ladder is exhausted and the partial must not be cached.
+        let dead = Budget::unlimited();
+        dead.cancel_token().cancel();
+        let err = state
+            .characterization_budgeted("boeblingen", "onehop", 7, 1, 32, &dead)
+            .unwrap_err();
+        assert!(err.contains("budget exhausted"), "unexpected error: {err}");
+        assert_eq!(state.cache.len(), 0, "partial tables must not be cached");
+        // A later unbudgeted request rebuilds from scratch and succeeds.
+        let (_, src) = state.characterization("boeblingen", "onehop", 7, 1, 32).unwrap();
+        assert_eq!(src, CharacSource::Fresh { cached: false });
+        // Once an LKG exists, a truncated rebuild after drift degrades to
+        // the stale entry instead of failing.
+        state.advance_day();
+        let (_, src) = state
+            .characterization_budgeted("boeblingen", "onehop", 7, 1, 32, &dead)
+            .unwrap();
+        assert_eq!(src, CharacSource::StaleLkg { epoch: 0, age: 1 });
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Budget chaos tests: end-to-end deadlines under deterministic fault
+//! injection.
+//!
+//! The acceptance contract of the deadline work, proven over a real
+//! server with `sim.batch` delay faults stalling the executor:
+//!
+//! * a job whose budget is smaller than its runtime answers a flagged
+//!   partial (`budget_exhausted`) well before ~2x its deadline, on a
+//!   worker that survives and is immediately reusable (no respawn);
+//! * partial counts are a *prefix*: bit-identical to a fresh run of
+//!   exactly `shots_completed` shots, and the whole chaos run replays
+//!   bit-identically from its fault seed;
+//! * `cancel` reaches an in-flight job by label and the submitter gets
+//!   a flagged partial with progress provenance;
+//! * under saturation, short-deadline requests are refused at admission
+//!   (retryable) while ample-deadline requests still run — and the
+//!   metrics account for every job (zero silent drops).
+//!
+//! The fault plan is process-global, so tests serialize on one gate and
+//! clear the plan through an RAII guard (idiom shared with `chaos.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use xtalk_serve::json::{obj, Json};
+use xtalk_serve::{Client, ServeConfig, Server};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct FaultGuard;
+
+impl FaultGuard {
+    fn install(spec: &str, seed: u64) -> FaultGuard {
+        xtalk_fault::install_spec(spec, seed).expect("valid fault spec");
+        FaultGuard
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        xtalk_fault::clear();
+    }
+}
+
+const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n";
+
+fn test_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap: 16,
+        job_timeout: Duration::from_secs(60),
+        ..ServeConfig::default()
+    }
+}
+
+/// A `run` request (optionally budgeted/labelled): `truth` policy so no
+/// characterization shots compete with the executor for `sim.batch`
+/// crossings, one executor thread so batch claiming is strictly ordered.
+fn run_request(shots: u64, seed: u64, deadline_ms: Option<u64>, job: Option<&str>) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::from("run")),
+        ("qasm".to_string(), BELL.into()),
+        ("device".to_string(), "poughkeepsie".into()),
+        ("scheduler".to_string(), "par".into()),
+        ("policy".to_string(), "truth".into()),
+        ("shots".to_string(), shots.into()),
+        ("seed".to_string(), seed.into()),
+        ("threads".to_string(), 1u64.into()),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), ms.into()));
+    }
+    if let Some(label) = job {
+        fields.push(("job".to_string(), label.into()));
+    }
+    Json::Obj(fields)
+}
+
+fn load(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+/// One budget-chaos episode: a 450 ms-per-batch delay against a 400 ms
+/// deadline, so exactly one 64-shot batch completes before the budget
+/// trips. Returns (response, elapsed, respawned, partials).
+fn expired_run_episode(seed: u64) -> (Json, Duration, u64, u64) {
+    let _faults = FaultGuard::install("sim.batch:delay:1.0:450", 9);
+    let server = Server::start(test_config(1)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let started = Instant::now();
+    let resp = client.request(&run_request(256, seed, Some(400), None)).unwrap();
+    let elapsed = started.elapsed();
+
+    // The worker that just expired must be immediately reusable: the very
+    // next job on the same (only) worker completes normally.
+    assert!(client.ping().unwrap());
+    let again = client
+        .request(&obj([("type", "sleep".into()), ("ms", 1u64.into())]))
+        .unwrap();
+    assert_eq!(again.get("ok").and_then(Json::as_bool), Some(true), "{}", again.dump());
+
+    let respawned = load(&server.state().metrics.workers_respawned);
+    let partials = load(&server.state().metrics.partial_results);
+    server.shutdown();
+    server.join();
+    (resp, elapsed, respawned, partials)
+}
+
+/// (a) Deadline smaller than runtime: flagged partial before ~2x the
+/// deadline, no respawn, worker reused — and the partial's counts equal
+/// a fresh, unbudgeted run of exactly `shots_completed` shots.
+#[test]
+fn expired_deadline_returns_prefix_partial_fast_without_respawn() {
+    let _gate = gate();
+    let (resp, elapsed, respawned, partials) = expired_run_episode(77);
+
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("budget_reason").and_then(Json::as_str), Some("deadline"));
+    let completed = resp.get("shots_completed").and_then(Json::as_u64).unwrap();
+    assert_eq!(completed, 64, "450ms delay vs 400ms budget admits exactly one batch");
+    assert_eq!(resp.get("shots_requested").and_then(Json::as_u64), Some(256));
+    assert!(
+        elapsed < Duration::from_millis(800),
+        "partial must arrive before ~2x the 400ms deadline, took {elapsed:?}"
+    );
+    assert_eq!(respawned, 0, "budget expiry is cooperative — no worker died");
+    assert_eq!(partials, 1, "the flagged partial must be counted");
+
+    // Prefix determinism: a fault-free run of exactly `completed` shots
+    // reproduces the partial's counts bit-for-bit.
+    xtalk_fault::clear();
+    let server = Server::start(test_config(1)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let fresh = client.request(&run_request(completed, 77, None, None)).unwrap();
+    assert_eq!(fresh.get("ok").and_then(Json::as_bool), Some(true), "{}", fresh.dump());
+    assert_eq!(fresh.get("budget_exhausted"), None);
+    assert_eq!(
+        resp.get("counts"),
+        fresh.get("counts"),
+        "partial counts must be the exact {completed}-shot prefix"
+    );
+    server.shutdown();
+    server.join();
+}
+
+/// (b) The whole chaos episode replays bit-identically from its fault
+/// seed: same flagged response, same provenance, same counts.
+#[test]
+fn expired_deadline_episode_replays_bit_identically() {
+    let _gate = gate();
+    let (first, _, _, _) = expired_run_episode(31);
+    let (second, _, _, _) = expired_run_episode(31);
+    assert_eq!(first.get("counts"), second.get("counts"));
+    assert_eq!(first.get("shots_completed"), second.get("shots_completed"));
+    assert_eq!(first.get("budget_exhausted"), second.get("budget_exhausted"));
+    assert_eq!(first.get("budget_reason"), second.get("budget_reason"));
+}
+
+/// (c) `cancel` by label reaches an in-flight job: the submitter gets a
+/// flagged partial with progress provenance, and the cancel is counted.
+#[test]
+fn cancel_interrupts_an_inflight_job_with_a_flagged_partial() {
+    let _gate = gate();
+    xtalk_fault::clear();
+    let server = Server::start(test_config(1)).unwrap();
+    let addr = server.local_addr();
+
+    // The victim: a 30s sleep labelled for cancellation, submitted from
+    // its own thread because the client API is synchronous.
+    let victim = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .request(&obj([
+                ("type", "sleep".into()),
+                ("ms", 30_000u64.into()),
+                ("job", "victim".into()),
+            ]))
+            .unwrap()
+    });
+
+    // Give the job time to be admitted and start sleeping, then cancel.
+    let mut canceller = Client::connect(addr).unwrap();
+    let started = Instant::now();
+    let cancelled = loop {
+        if canceller.cancel("victim").unwrap() {
+            break true;
+        }
+        if started.elapsed() > Duration::from_secs(10) {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(cancelled, "the labelled job must be reachable by cancel");
+
+    let resp = victim.join().unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+    assert_eq!(resp.get("budget_exhausted").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("budget_reason").and_then(Json::as_str), Some("cancelled"));
+    let slept = resp.get("slept_ms").and_then(Json::as_u64).unwrap();
+    assert!(slept < 30_000, "the sleep must have been cut short, slept {slept}ms");
+
+    assert_eq!(load(&server.state().metrics.jobs_cancelled), 1);
+    assert_eq!(load(&server.state().metrics.partial_results), 1);
+    server.shutdown();
+    server.join();
+}
+
+/// (d) Admission control under saturation: after a queue backlog pushes
+/// the observed queue-wait p90 up, a short-deadline request is refused
+/// up front (retryable, explicit) while an ample-deadline request still
+/// runs — and every submitted job is accounted for in the metrics.
+#[test]
+fn saturation_rejects_short_deadlines_at_admission_with_full_accounting() {
+    let _gate = gate();
+    xtalk_fault::clear();
+    let server = Server::start(test_config(1)).unwrap();
+    let addr = server.local_addr();
+
+    // Saturate the single worker: four concurrent 250ms sleeps, three of
+    // which must queue — their dequeues record queue waits >= 250ms.
+    let sleepers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .request(&obj([("type", "sleep".into()), ("ms", 250u64.into())]))
+                    .unwrap()
+            })
+        })
+        .collect();
+    let mut ok_jobs = 0u64;
+    for sleeper in sleepers {
+        let resp = sleeper.join().unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.dump());
+        ok_jobs += 1;
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let p90 = stats.get("queue_wait_p90_ms").and_then(Json::as_u64).unwrap();
+    assert!(p90 >= 250, "three jobs queued behind 250ms sleeps, p90 was {p90}ms");
+
+    // A deadline below the observed wait can only come back expired —
+    // the server refuses it before it wastes a worker.
+    let rejected = client.request(&run_request(64, 7, Some(10), None)).unwrap();
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(rejected.get("rejected_admission").and_then(Json::as_bool), Some(true));
+    assert_eq!(rejected.get("retryable").and_then(Json::as_bool), Some(true));
+    assert!(rejected.get("queue_wait_p90_ms").and_then(Json::as_u64).unwrap() >= 250);
+
+    // An ample deadline clears admission and completes normally.
+    let admitted = client.request(&run_request(64, 7, Some(60_000), None)).unwrap();
+    assert_eq!(admitted.get("ok").and_then(Json::as_bool), Some(true), "{}", admitted.dump());
+    assert_eq!(admitted.get("budget_exhausted"), None);
+    ok_jobs += 1;
+
+    // Zero silent drops: every submission is either served or explicitly
+    // rejected, and the counters add up.
+    let metrics = &server.state().metrics;
+    assert_eq!(load(&metrics.jobs_ok), ok_jobs);
+    assert_eq!(load(&metrics.rejected_admission), 1);
+    assert_eq!(load(&metrics.jobs_failed), 0);
+    assert_eq!(load(&metrics.jobs_quarantined), 0);
+    assert_eq!(load(&metrics.queue_depth), 0, "gauge must return to zero");
+
+    server.shutdown();
+    let summary = server.join();
+    assert!(summary.contains("admission-rejected"), "{summary}");
+}

@@ -244,7 +244,7 @@ fn shutdown_drains_with_explicit_responses() {
     let (tx3, rx3) = mpsc::channel();
     state.metrics.job_enqueued();
     assert_eq!(
-        handle.try_submit(Job { request: Request::Sleep { ms: 400 }, reply: tx1 }),
+        handle.try_submit(Job::new(Request::Sleep { ms: 400 }, tx1)),
         Submit::Accepted
     );
     // Give the worker time to dequeue j1 *before* the fault plan lands
@@ -254,7 +254,7 @@ fn shutdown_drains_with_explicit_responses() {
     for tx in [tx2, tx3] {
         state.metrics.job_enqueued();
         assert_eq!(
-            handle.try_submit(Job { request: Request::Sleep { ms: 1 }, reply: tx }),
+            handle.try_submit(Job::new(Request::Sleep { ms: 1 }, tx)),
             Submit::Accepted
         );
     }
@@ -282,7 +282,7 @@ fn shutdown_drains_with_explicit_responses() {
     // New submissions are refused explicitly.
     let (tx4, _rx4) = mpsc::channel();
     assert_eq!(
-        handle.try_submit(Job { request: Request::Sleep { ms: 1 }, reply: tx4 }),
+        handle.try_submit(Job::new(Request::Sleep { ms: 1 }, tx4)),
         Submit::ShuttingDown
     );
 }

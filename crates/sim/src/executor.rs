@@ -6,8 +6,30 @@ use crate::noise::{
 use crate::{Counts, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xtalk_budget::Budget;
 use xtalk_device::{Calibration, Device, Edge};
 use xtalk_ir::{Circuit, Gate, ScheduleSlot, ScheduledCircuit};
+
+/// Shots per batch in [`Executor::run_budgeted`]. Fixed (independent of
+/// the thread count) so the set of completed shots under an exhausted
+/// budget is always a prefix `0..shots_completed` whose counts are
+/// bit-identical to a fresh run of exactly that many shots at any thread
+/// count.
+pub const BUDGET_BATCH_SHOTS: u64 = 64;
+
+/// Best-effort result of a budgeted run ([`Executor::run_budgeted`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunOutcome {
+    /// Counts over the completed prefix of shots.
+    pub counts: Counts,
+    /// Exact number of trajectories sampled: shots `0..shots_completed`.
+    pub shots_completed: u64,
+    /// The configured shot target.
+    pub shots_requested: u64,
+    /// `true` iff every requested shot completed.
+    pub complete: bool,
+}
 
 /// Knobs for the noisy executor; individual noise sources can be switched
 /// off for ablation experiments.
@@ -165,6 +187,91 @@ impl<'a> Executor<'a> {
             }
             counts
         })
+    }
+
+    /// Executes the schedule under a cooperative [`Budget`], checked only
+    /// at shot-batch boundaries.
+    ///
+    /// Shots are split into fixed-size batches of [`BUDGET_BATCH_SHOTS`]
+    /// claimed from a shared atomic counter in index order; a worker polls
+    /// the budget *before* claiming and always finishes a batch it
+    /// claimed. Completed batches therefore form a prefix `0..n`, so the
+    /// returned [`RunOutcome`] reports an exact `shots_completed` and its
+    /// counts are **bit-identical** to a fresh run of exactly that many
+    /// shots at any thread count (each shot still derives its own RNG
+    /// stream from `(config.seed, shot)`). Budget-expiry latency is at
+    /// most one batch per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid ([`ScheduledCircuit::validate`]),
+    /// if a component exceeds the statevector limit, or if a worker thread
+    /// panics.
+    pub fn run_budgeted(
+        &self,
+        sched: &ScheduledCircuit,
+        threads: usize,
+        budget: &Budget,
+    ) -> RunOutcome {
+        let _span = xtalk_obs::span("sim.run_budgeted");
+        sched.validate().expect("executor requires a valid schedule");
+        let prep = self.prepare(sched);
+        let shots = self.config.shots;
+        let num_batches = shots.div_ceil(BUDGET_BATCH_SHOTS);
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(num_batches.max(1) as usize)
+        .max(1);
+
+        let next = AtomicU64::new(0);
+        let run_worker = |thread_idx: usize| -> Counts {
+            let mut counts = Counts::new(sched.circuit().num_clbits().max(1));
+            loop {
+                // Poll *before* claiming: a claimed batch always runs to
+                // completion, keeping the completed set a prefix.
+                if budget.exhausted().is_some() {
+                    break;
+                }
+                let batch = next.fetch_add(1, Ordering::Relaxed);
+                if batch >= num_batches {
+                    break;
+                }
+                let lo = batch * BUDGET_BATCH_SHOTS;
+                let hi = (lo + BUDGET_BATCH_SHOTS).min(shots);
+                counts.merge(&self.run_shot_batch(sched, &prep, lo, hi, thread_idx));
+                budget.charge(1);
+            }
+            counts
+        };
+
+        let counts = if threads == 1 {
+            run_worker(0)
+        } else {
+            std::thread::scope(|scope| {
+                let run_worker = &run_worker;
+                let handles: Vec<_> =
+                    (0..threads).map(|t| scope.spawn(move || run_worker(t))).collect();
+                let mut counts = Counts::new(sched.circuit().num_clbits().max(1));
+                for handle in handles {
+                    counts.merge(&handle.join().expect("trajectory worker panicked"));
+                }
+                counts
+            })
+        };
+
+        // Every batch index below the final counter value was claimed and
+        // completed (overshoot past `num_batches` claims nothing).
+        let claimed = next.load(Ordering::Relaxed).min(num_batches);
+        let shots_completed = (claimed * BUDGET_BATCH_SHOTS).min(shots);
+        debug_assert_eq!(counts.shots(), shots_completed);
+        RunOutcome {
+            counts,
+            shots_completed,
+            shots_requested: shots,
+            complete: shots_completed == shots,
+        }
     }
 
     /// [`Executor::run_shot_range`] plus per-batch observability: batch
@@ -595,6 +702,70 @@ mod tests {
         let counts = exec.run_parallel(&sched, 64);
         assert_eq!(counts.shots(), 3);
         assert_eq!(counts, exec.run(&sched));
+    }
+
+    #[test]
+    fn run_budgeted_unlimited_matches_run() {
+        let device = Device::line(3, 1);
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let sched = Executor::asap_schedule(&c, device.calibration());
+        // Not a multiple of the batch size.
+        let cfg = ExecutorConfig { shots: 1000, seed: 99, ..Default::default() };
+        let exec = Executor::with_config(&device, cfg);
+        let serial = exec.run(&sched);
+        for threads in [1usize, 2, 4, 7] {
+            let out = exec.run_budgeted(&sched, threads, &Budget::unlimited());
+            assert!(out.complete);
+            assert_eq!(out.shots_completed, 1000);
+            assert_eq!(out.shots_requested, 1000);
+            assert_eq!(out.counts, serial, "thread count {threads} changed the counts");
+        }
+    }
+
+    #[test]
+    fn run_budgeted_cancelled_returns_empty_partial() {
+        let device = Device::line(2, 0);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let sched = Executor::asap_schedule(&c, device.calibration());
+        let exec = Executor::with_config(&device, noiseless());
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let out = exec.run_budgeted(&sched, 4, &budget);
+        assert!(!out.complete);
+        assert_eq!(out.shots_completed, 0);
+        assert_eq!(out.counts.shots(), 0);
+    }
+
+    #[test]
+    fn partial_counts_match_fresh_run_of_prefix_at_any_thread_count() {
+        // The acceptance contract: whatever `shots_completed` a truncated
+        // run reports, its counts equal a fresh full run configured with
+        // exactly that many shots, at any thread count.
+        let device = Device::line(3, 1);
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let sched = Executor::asap_schedule(&c, device.calibration());
+        let cfg = ExecutorConfig { shots: 1000, seed: 5, ..Default::default() };
+        let exec = Executor::with_config(&device, cfg);
+        // A quota budget truncates mid-run; racing threads make the exact
+        // stop point nondeterministic, which is precisely the point.
+        let out =
+            exec.run_budgeted(&sched, 4, &Budget::unlimited().with_quota(7));
+        assert!(!out.complete);
+        assert!(out.shots_completed > 0 && out.shots_completed < 1000);
+        assert_eq!(out.shots_completed % BUDGET_BATCH_SHOTS, 0);
+        let fresh_cfg = ExecutorConfig { shots: out.shots_completed, ..cfg };
+        let fresh = Executor::with_config(&device, fresh_cfg);
+        for threads in [1usize, 3, 8] {
+            assert_eq!(
+                fresh.run_parallel(&sched, threads),
+                out.counts,
+                "partial counts diverge from a fresh {}-shot run at {threads} threads",
+                out.shots_completed
+            );
+        }
     }
 
     #[test]

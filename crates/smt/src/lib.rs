@@ -53,4 +53,4 @@ mod search;
 
 pub use dl::{DiffConstraint, DifferenceLogic};
 pub use model::{BoolVar, Model, RealVar};
-pub use search::{Objective, Optimizer, SearchConfig, Solution};
+pub use search::{Objective, Optimizer, SearchConfig, SearchOutcome, Solution};

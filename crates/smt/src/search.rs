@@ -3,6 +3,7 @@
 
 use crate::dl::DifferenceLogic;
 use crate::model::{BoolVar, Model};
+use xtalk_budget::Budget;
 
 /// The objective to minimize.
 ///
@@ -36,6 +37,21 @@ impl Default for SearchConfig {
     }
 }
 
+/// How a search ended.
+///
+/// `complete: false` means the search was truncated — by the
+/// [`SearchConfig::max_leaves`] cap or by an exhausted
+/// [`Budget`] — so a returned solution is best-so-far, not
+/// proven optimal, and a `None` result means "no feasible leaf reached
+/// yet" rather than "proven infeasible".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchOutcome {
+    /// `true` iff the search space was exhausted (result is proven).
+    pub complete: bool,
+    /// Leaves evaluated before the search ended.
+    pub leaves: u64,
+}
+
 /// A minimizing solution.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Solution {
@@ -62,12 +78,14 @@ struct SearchState<'a> {
     model: &'a Model,
     obj: &'a dyn Objective,
     config: SearchConfig,
+    budget: &'a Budget,
     assignment: Vec<Option<bool>>,
     dl: DifferenceLogic,
     best: Option<Solution>,
     leaves: u64,
     decisions: u64,
     backtracks: u64,
+    truncated: bool,
 }
 
 impl Optimizer {
@@ -85,34 +103,55 @@ impl Optimizer {
     /// Minimizes `obj`; returns `None` iff no assignment satisfies the
     /// constraints (within the leaf budget).
     pub fn minimize(&self, obj: &dyn Objective) -> Option<Solution> {
+        self.minimize_budgeted(obj, &Budget::unlimited()).0
+    }
+
+    /// Minimizes `obj` under a cooperative [`Budget`], polled at every
+    /// decision point. On exhaustion the best solution found so far is
+    /// returned with `outcome.complete == false`; a `(None, incomplete)`
+    /// result means the budget expired before any feasible leaf — the
+    /// caller should fall back rather than treat the model as infeasible.
+    pub fn minimize_budgeted(
+        &self,
+        obj: &dyn Objective,
+        budget: &Budget,
+    ) -> (Option<Solution>, SearchOutcome) {
         let _span = xtalk_obs::span("smt.solve");
         let mut dl = DifferenceLogic::new(self.model.n_real);
         for c in &self.model.hard {
             dl.add(*c);
         }
         if !dl.feasible() {
-            return None;
+            // Proven infeasible: a complete (if empty) answer.
+            return (None, SearchOutcome { complete: true, leaves: 0 });
         }
         let mut st = SearchState {
             model: &self.model,
             obj,
             config: self.config,
+            budget,
             assignment: vec![None; self.model.n_bool],
             dl,
             best: None,
             leaves: 0,
             decisions: 0,
             backtracks: 0,
+            truncated: false,
         };
         st.search();
         xtalk_obs::counter!("smt.leaves", st.leaves);
         xtalk_obs::counter!("smt.decisions", st.decisions);
         xtalk_obs::counter!("smt.backtracks", st.backtracks);
+        if st.truncated {
+            xtalk_obs::counter!("smt.truncated", 1);
+        }
+        let outcome = SearchOutcome { complete: !st.truncated, leaves: st.leaves };
         let leaves = st.leaves;
-        st.best.map(|mut s| {
+        let sol = st.best.map(|mut s| {
             s.leaves = leaves;
             s
-        })
+        });
+        (sol, outcome)
     }
 }
 
@@ -193,7 +232,11 @@ impl<'a> SearchState<'a> {
     }
 
     fn search(&mut self) {
-        if self.leaves >= self.config.max_leaves {
+        // Truncation checks: entering a node with the leaf cap spent or
+        // the budget gone means unexplored branches remain, so whatever
+        // `best` holds is no longer a proven optimum.
+        if self.leaves >= self.config.max_leaves || self.budget.exhausted().is_some() {
+            self.truncated = true;
             return;
         }
         // Bound check.
@@ -205,8 +248,10 @@ impl<'a> SearchState<'a> {
         // Pick the next unassigned variable.
         let next = (0..self.model.n_bool).find(|&i| self.assignment[i].is_none());
         let Some(next) = next else {
-            // Leaf: full assignment. Theory solve and evaluate.
+            // Leaf: full assignment. Theory solve and evaluate. Each leaf
+            // charges one quota unit, so quota budgets bound leaves too.
             self.leaves += 1;
+            self.budget.charge(1);
             self.dl.push();
             for (g, c) in &self.model.guarded {
                 if self.assignment[g.0] == Some(true) {
@@ -380,6 +425,75 @@ mod tests {
         let full = Optimizer::new(m2).minimize(&NoBound).unwrap();
         assert_eq!(pruned.cost, full.cost);
         assert!(pruned.leaves <= full.leaves);
+    }
+
+    #[test]
+    fn complete_search_reports_complete_outcome() {
+        let mut m = Model::new();
+        for _ in 0..6 {
+            m.bool_var();
+        }
+        let (sol, outcome) =
+            Optimizer::new(m).minimize_budgeted(&Count, &Budget::unlimited());
+        assert!(sol.is_some());
+        assert!(outcome.complete);
+        assert_eq!(outcome.leaves, sol.unwrap().leaves);
+    }
+
+    #[test]
+    fn leaf_cap_marks_outcome_incomplete() {
+        let mut m = Model::new();
+        for _ in 0..8 {
+            m.bool_var();
+        }
+        let opt = Optimizer::new(m).with_config(SearchConfig { max_leaves: 1 });
+        let (sol, outcome) = opt.minimize_budgeted(&Count, &Budget::unlimited());
+        // One leaf reached: best-so-far exists but is not proven optimal.
+        assert!(sol.is_some());
+        assert!(!outcome.complete);
+        assert_eq!(outcome.leaves, 1);
+    }
+
+    #[test]
+    fn cancelled_budget_yields_incomplete_none() {
+        let mut m = Model::new();
+        for _ in 0..4 {
+            m.bool_var();
+        }
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let (sol, outcome) = Optimizer::new(m).minimize_budgeted(&Count, &budget);
+        // Cancelled before any leaf: no solution, explicitly incomplete —
+        // distinguishable from the proven-infeasible (None, complete) case.
+        assert!(sol.is_none());
+        assert!(!outcome.complete);
+        assert_eq!(outcome.leaves, 0);
+    }
+
+    #[test]
+    fn quota_budget_truncates_after_charged_leaves() {
+        let mut m = Model::new();
+        for _ in 0..8 {
+            m.bool_var();
+        }
+        let budget = Budget::unlimited().with_quota(3);
+        let (sol, outcome) = Optimizer::new(m).minimize_budgeted(&Count, &budget);
+        assert!(sol.is_some());
+        assert!(!outcome.complete);
+        assert_eq!(outcome.leaves, 3);
+    }
+
+    #[test]
+    fn hard_infeasible_is_complete_none() {
+        let mut m = Model::new();
+        let a = m.real_var();
+        let b = m.real_var();
+        m.require(m.ge_diff(a, b, 1));
+        m.require(m.ge_diff(b, a, 1));
+        let (sol, outcome) =
+            Optimizer::new(m).minimize_budgeted(&Count, &Budget::unlimited());
+        assert!(sol.is_none());
+        assert!(outcome.complete, "proven infeasibility is a complete answer");
     }
 
     #[test]

@@ -16,7 +16,10 @@ use crosstalk_mitigation::charac::policy::TimeModel;
 use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
 use crosstalk_mitigation::core::layout::route_with_greedy_layout;
 use crosstalk_mitigation::core::optimize::fuse_single_qubit_gates;
-use crosstalk_mitigation::core::pipeline::{run_scheduled_threads, swap_bell_error};
+use crosstalk_mitigation::budget::Budget;
+use crosstalk_mitigation::core::pipeline::{
+    run_scheduled_budgeted, run_scheduled_threads, swap_bell_error,
+};
 use crosstalk_mitigation::core::sched::check_hardware_compliant;
 use crosstalk_mitigation::core::transpile::lower_to_native;
 use crosstalk_mitigation::core::{
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "swap-demo" => cmd_swap_demo(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "cancel" => cmd_cancel(rest),
         "profile" => cmd_profile(rest),
         "profile-check" => cmd_profile_check(rest),
         "--help" | "-h" | "help" => {
@@ -70,7 +74,7 @@ USAGE:
     xtalk devices
     xtalk characterize --device <name> [--policy all|onehop|binpacked] [--seqs N] [--shots N] [--seed N]
     xtalk schedule <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [-o <out.qasm>]
-    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N] [--profile]
+    xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N] [--budget-ms N] [--profile]
     xtalk swap-demo --device <name> --from A --to B [--shots N]
     xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N] [--profile]
                 [--stale-ttl N] [--faults SPEC] [--fault-seed N]
@@ -78,9 +82,14 @@ USAGE:
     xtalk profile-check <snapshot.json>
     xtalk submit <type> [input.qasm] [--addr HOST:PORT] [--device <name>] [--scheduler S] [--policy P]
                  [--shots N] [--seed N] [--threads N] [--omega W] [--from A --to B] [--ms N]
-                 [--deadline-ms N] [--retries N] [--retry-seed N]
+                 [--budget-ms N] [--job LABEL] [--deadline-ms N] [--retries N] [--retry-seed N]
+    xtalk cancel <job-label> [--addr HOST:PORT] [--deadline-ms N]
 
 SUBMIT TYPES: ping, stats, shutdown, advance_day, sleep, characterize, schedule, run, swap_demo
+BUDGETS: --budget-ms is the server-side end-to-end deadline (queue wait included); an expired
+    job returns `ok` with `budget_exhausted: true` plus exact progress (shots_completed, ...).
+    --job labels the submission so `xtalk cancel <label>` can stop it mid-flight.
+    --deadline-ms bounds this CLI's own connect/read/write I/O, independent of the budget.
 DEVICES: poughkeepsie, johannesburg, boeblingen (20-qubit IBMQ models)
 FAULT SPECS: comma-separated `point:action:prob[:ms]` with action panic|err|delay, e.g.
     --faults \"pool.job:panic:0.01,codec.read:err:0.05\" (or env XTALK_FAULTS / XTALK_FAULT_SEED);
@@ -291,21 +300,57 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let shots = flags.get_parse("shots", 2048u64)?;
     let seed = flags.get_parse("seed", 7u64)?;
     let threads = flags.get_parse("threads", 0usize)?;
+    let budget = match flags.get("budget-ms") {
+        Some(_) => {
+            let ms: u64 = flags.get_parse("budget-ms", 0u64)?;
+            Budget::with_deadline(Duration::from_millis(ms))
+        }
+        None => Budget::unlimited(),
+    };
 
-    let sched = scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
-    let counts = run_scheduled_threads(&device, &sched, shots, seed, threads);
+    // The budget spans scheduling *and* simulation: an exhausted search
+    // falls back to a ParSched-equivalent schedule, an exhausted executor
+    // stops at a batch boundary with exact shots_completed provenance.
+    let (sched, search_truncated) = if flags.get("scheduler").unwrap_or("xtalk") == "xtalk" {
+        let omega = flags.get_parse("omega", 0.5f64)?;
+        let (sched, report) = XtalkSched::new(omega)
+            .schedule_budgeted(&circuit, &ctx, &budget)
+            .map_err(|e| e.to_string())?;
+        if !report.complete {
+            println!(
+                "(search truncated by budget after {} leaves{})",
+                report.leaves,
+                if report.fallback { "; using crosstalk-unaware fallback" } else { "" }
+            );
+        }
+        (sched, !report.complete)
+    } else {
+        (scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?, false)
+    };
+    let outcome = run_scheduled_budgeted(&device, &sched, shots, seed, threads, &budget);
+    let counts = &outcome.counts;
     println!(
-        "{} | scheduler {} | makespan {} ns | {shots} shots",
+        "{} | scheduler {} | makespan {} ns | {}/{} shots",
         device.name(),
         scheduler.name(),
-        sched.makespan()
+        sched.makespan(),
+        outcome.shots_completed,
+        outcome.shots_requested
     );
+    if !outcome.complete || search_truncated {
+        let reason = budget
+            .exhausted()
+            .map(|r| r.as_str())
+            .unwrap_or("deadline");
+        println!("(budget exhausted: {reason}; counts cover the completed prefix of shots)");
+    }
+    let completed = outcome.shots_completed.max(1);
     let mut entries: Vec<(u64, u64)> = counts.iter().collect();
     entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (outcome, count) in entries.into_iter().take(16) {
         println!(
             "  {outcome:0width$b}: {count} ({:.3})",
-            count as f64 / shots as f64,
+            count as f64 / completed as f64,
             width = counts.num_bits()
         );
     }
@@ -483,7 +528,9 @@ fn cmd_profile_check(args: &[String]) -> Result<(), String> {
         .iter()
         .filter_map(|s| s.get("name").and_then(Json::as_str))
         .collect();
-    for required in ["layout", "routing", "sched.", "realize", "sim.run_parallel", "charac."] {
+    // `sim.run` matches both `sim.run_parallel` and `sim.run_budgeted`,
+    // so budget-aware profiles validate with the same check.
+    for required in ["layout", "routing", "sched.", "realize", "sim.run", "charac."] {
         if !names.iter().any(|n| n.contains(required)) {
             return Err(format!("no span matching `{required}` in {names:?}"));
         }
@@ -530,6 +577,16 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         let w: f64 = v.parse().map_err(|_| format!("--omega: cannot parse `{v}`"))?;
         fields.push(("omega", w.into()));
     }
+    // Server-side budget: the wire field is `deadline_ms` (pinned at
+    // arrival, so queue wait counts against it); `job` labels the
+    // submission for `xtalk cancel`.
+    if let Some(v) = flags.get("budget-ms") {
+        let n: u64 = v.parse().map_err(|_| format!("--budget-ms: cannot parse `{v}`"))?;
+        fields.push(("deadline_ms", n.into()));
+    }
+    if let Some(v) = flags.get("job") {
+        fields.push(("job", v.into()));
+    }
     let request = Json::Obj(
         fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
     );
@@ -557,5 +614,27 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             .and_then(Json::as_str)
             .unwrap_or("request failed")
             .to_string())
+    }
+}
+
+/// Cancels an in-flight (or still-queued) job by its `--job` label. The
+/// job's worker observes the tripped token at its next checkpoint and
+/// answers the original submitter with a flagged partial result.
+fn cmd_cancel(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let label = flags
+        .positional
+        .first()
+        .ok_or("cancel needs a job label (the submit's --job value)")?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let deadline = Duration::from_millis(flags.get_parse("deadline-ms", 10_000u64)?.max(1));
+    let mut client =
+        Client::connect_with_deadline(addr, deadline).map_err(|e| format!("connect {addr}: {e}"))?;
+    let cancelled = client.cancel(label).map_err(|e| format!("cancel failed: {e}"))?;
+    if cancelled {
+        println!("cancelled job `{label}`");
+        Ok(())
+    } else {
+        Err(format!("no in-flight job labelled `{label}`"))
     }
 }

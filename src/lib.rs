@@ -20,6 +20,10 @@
 //!   bounded worker pool, drift-aware characterization cache).
 //! * [`obs`] — opt-in tracing spans, counters and latency histograms
 //!   used by `xtalk run --profile` / `xtalk profile`.
+//! * [`budget`] — cooperative execution budgets (wall-clock deadline +
+//!   cancel token + work quota) threaded through the solver, simulator,
+//!   characterization and serve layers for end-to-end deadlines with
+//!   best-effort partial results.
 //! * [`fault`] — deterministic fault injection: seeded decision streams
 //!   behind named points (`codec.read`, `pool.job`, `charac.run`,
 //!   `sim.batch`, ...) driving the serve stack's chaos tests and the
@@ -44,6 +48,7 @@
 //! assert!(sched.makespan() > 0);
 //! ```
 
+pub use xtalk_budget as budget;
 pub use xtalk_charac as charac;
 pub use xtalk_clifford as clifford;
 pub use xtalk_fault as fault;
