@@ -22,6 +22,29 @@ cargo test -q -p xtalk-sim --test obs_overhead
 cargo test -q -p xtalk-serve --test json_props
 cargo test -q -p xtalk-charac --test fit_regression
 
+echo "== pass-manager & artifact-cache suites =="
+# Content-hash properties, golden determinism against the pre-refactor
+# compile flow, and the obs-verified zero-redundant-prefix acceptance
+# test (the last owns the process-global obs toggle, hence its own
+# binary).
+cargo test -q -p xtalk-pass
+cargo test -q -p xtalk-core --test pass_determinism
+cargo test -q -p xtalk-core --test compare_cache_obs
+
+echo "== xtalk compare cache smoke =="
+# The compare verb compiles one circuit under all three schedulers over
+# a shared artifact cache: the scheduler-independent prefix must be
+# reused (fixed hit/miss ledger) and the whole report must be
+# bit-identical across repeated runs.
+compare_qasm="$(mktemp --suffix=.qasm)"
+printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n' > "$compare_qasm"
+compare_a="$(target/release/xtalk compare "$compare_qasm" --device poughkeepsie)"
+compare_b="$(target/release/xtalk compare "$compare_qasm" --device poughkeepsie)"
+[ "$compare_a" = "$compare_b" ] || { echo "compare is nondeterministic across runs"; exit 1; }
+echo "$compare_a" | grep -q "artifact cache: 3 hits, 6 misses" \
+    || { echo "compare did not share the pass prefix:"; echo "$compare_a"; exit 1; }
+rm -f "$compare_qasm"
+
 echo "== xtalk profile smoke =="
 # End-to-end: the profiled pipeline must emit a snapshot that parses as
 # JSON and covers every instrumented stage.

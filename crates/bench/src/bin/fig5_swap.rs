@@ -4,10 +4,20 @@
 //! ```text
 //! cargo run -p xtalk-bench --release --bin fig5_swap [--full] [--threads N]
 //! ```
+//!
+//! The sweep compiles through a per-device [`Compiler`] so the three
+//! schedulers share one content-addressed artifact cache. After each
+//! device's error table it times the compile grid three ways — isolated
+//! caches, one shared cold cache, and the same cache warm — to record
+//! what the cache buys the sweep (see EXPERIMENTS.md).
 
+use std::time::Instant;
 use xtalk_bench::{affected_swap_pairs, devices, geomean, Scale};
-use xtalk_core::pipeline::swap_bell_error_threads;
-use xtalk_core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_core::routing::swap_benchmark;
+use xtalk_core::{Compiler, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use xtalk_device::Device;
+use xtalk_ir::Circuit;
+use xtalk_sim::tomography::tomography_circuits;
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,6 +32,7 @@ fn main() {
 
     for device in devices(scale.seed) {
         let ctx = SchedulerContext::from_ground_truth(&device);
+        let compiler = Compiler::new(&device, ctx.clone());
         let pairs = affected_swap_pairs(&device, &ctx, scale.max_swap_pairs);
         println!("--- {} ({} crosstalk-affected qubit pairs) ---", device.name(), pairs.len());
         println!(
@@ -36,17 +47,16 @@ fn main() {
             let mut errs = Vec::new();
             let mut durs = Vec::new();
             for sched in &schedulers {
-                let out = swap_bell_error_threads(
-                    &device,
-                    &ctx,
-                    sched.as_ref(),
-                    a,
-                    b,
-                    scale.tomo_shots,
-                    scale.seed ^ (u64::from(a) << 8) ^ u64::from(b),
-                    scale.threads,
-                )
-                .expect("routing succeeds on connected devices");
+                let out = compiler
+                    .swap_bell_error(
+                        sched.as_ref(),
+                        a,
+                        b,
+                        scale.tomo_shots,
+                        scale.seed ^ (u64::from(a) << 8) ^ u64::from(b),
+                        scale.threads,
+                    )
+                    .expect("routing succeeds on connected devices");
                 errs.push(out.error_rate);
                 durs.push(out.duration_ns);
             }
@@ -80,13 +90,82 @@ fn main() {
             max_ser
         );
         println!(
-            "  duration ratio Xtalk/Par (Fig 5d): mean {:.2}x, worst {:.2}x\n",
+            "  duration ratio Xtalk/Par (Fig 5d): mean {:.2}x, worst {:.2}x",
             duration_ratio.iter().sum::<f64>() / duration_ratio.len() as f64,
             duration_ratio.iter().cloned().fold(0.0f64, f64::max)
         );
+        report_compile_timing(&device, &ctx, &pairs, &schedulers);
+        println!();
     }
     println!(
         "Paper shape check: XtalkSched lowest error on every pair; up to ~5.6x\n\
          (geomean ~2x) over ParSched; duration only ~1.16x ParSched on average."
+    );
+}
+
+/// Times the device's full compile grid (every tomography circuit of
+/// every selected pair × the three schedulers) three ways: a fresh
+/// compiler per compile (no sharing — every compile pays lower, place
+/// and route), one shared cold cache (the scheduler-independent prefix
+/// is computed once per circuit), and the same cache warm (pure
+/// replay). Execution is excluded: this is the compile-side cost the
+/// artifact cache removes from a repeated sweep.
+fn report_compile_timing(
+    device: &Device,
+    ctx: &SchedulerContext,
+    pairs: &[(u32, u32)],
+    schedulers: &[Box<dyn Scheduler>],
+) {
+    let grid: Vec<Circuit> = pairs
+        .iter()
+        .flat_map(|&(a, b)| {
+            let bench =
+                swap_benchmark(device.topology(), a, b).expect("device is connected");
+            let (qa, qb) = bench.bell_pair;
+            tomography_circuits(&bench.circuit, qa, qb).into_iter().map(|(_, c)| c)
+        })
+        .collect();
+    if grid.is_empty() {
+        return;
+    }
+
+    let t = Instant::now();
+    for circuit in &grid {
+        for sched in schedulers {
+            Compiler::new(device, ctx.clone())
+                .compile(circuit, sched.as_ref())
+                .expect("grid circuits compile");
+        }
+    }
+    let isolated = t.elapsed();
+
+    let shared = Compiler::new(device, ctx.clone());
+    let t = Instant::now();
+    for circuit in &grid {
+        for sched in schedulers {
+            shared.compile(circuit, sched.as_ref()).expect("grid circuits compile");
+        }
+    }
+    let cold = t.elapsed();
+    let (cold_hits, cold_misses) = (shared.cache().hits(), shared.cache().misses());
+
+    let t = Instant::now();
+    for circuit in &grid {
+        for sched in schedulers {
+            shared.compile(circuit, sched.as_ref()).expect("grid circuits compile");
+        }
+    }
+    let warm = t.elapsed();
+    let warm_hits = shared.cache().hits() - cold_hits;
+
+    println!(
+        "  compile grid, {} circuits x {} schedulers = {} compiles:",
+        grid.len(),
+        schedulers.len(),
+        grid.len() * schedulers.len()
+    );
+    println!(
+        "    isolated caches {isolated:>9.2?} | shared cold {cold:>9.2?} \
+         ({cold_misses} misses, {cold_hits} hits) | warm replay {warm:>9.2?} ({warm_hits} hits)"
     );
 }

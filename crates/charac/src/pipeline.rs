@@ -106,6 +106,30 @@ impl Characterization {
     pub fn conditional_iter(&self) -> impl Iterator<Item = ((Edge, Edge), f64)> + '_ {
         self.conditional.iter().map(|(&k, &v)| (k, v))
     }
+
+    /// Iterates measured independent entries, in edge order.
+    pub fn independent_iter(&self) -> impl Iterator<Item = (Edge, f64)> + '_ {
+        self.independent.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl xtalk_pass::ContentHash for Characterization {
+    /// Structural hash over both rate tables (`BTreeMap` iteration order
+    /// is deterministic), so scheduling artifacts derived from different
+    /// characterizations never share a cache row.
+    fn content_hash(&self, h: &mut xtalk_pass::Fnv1a) {
+        h.write_usize(self.independent.len());
+        for (e, v) in &self.independent {
+            e.content_hash(h);
+            h.write_f64(*v);
+        }
+        h.write_usize(self.conditional.len());
+        for ((of, given), v) in &self.conditional {
+            of.content_hash(h);
+            given.content_hash(h);
+            h.write_f64(*v);
+        }
+    }
 }
 
 /// Failure looking up characterization data.

@@ -140,6 +140,10 @@ pub fn run_rb_1q(device: &Device, q: u32, config: &RbConfig) -> f64 {
             }
             total_cliffords += m + 1;
             c.measure(q, 0);
+            // Execute what hardware would: the native lowering shared
+            // with the compiler's LowerPass (1 physical pulse per
+            // non-virtual Clifford gate, so EPC accounting is unchanged).
+            let c = xtalk_pass::lower_to_native(&c);
             let sched = Executor::asap_schedule(&c, device.calibration());
             let cfg = ExecutorConfig {
                 shots: config.shots,
@@ -197,6 +201,7 @@ pub fn run_rb(device: &Device, edge: Edge, config: &RbConfig) -> RbOutcome {
             let mut c = Circuit::new(n, 2);
             total_cx += rb_sequence(&mut c, qa, qb, m, 0, &mut rng);
             total_cliffords += m + 1;
+            let c = xtalk_pass::lower_to_native(&c);
             let sched = Executor::asap_schedule(&c, device.calibration());
             let cfg = ExecutorConfig {
                 shots: config.shots,

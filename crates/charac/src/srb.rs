@@ -65,6 +65,8 @@ pub fn run_srb_bin(device: &Device, bin: &[(Edge, Edge)], config: &RbConfig) -> 
                 cx_counts[k] += rb_sequence(&mut c, qa, qb, m, 2 * k as u32, &mut rng);
                 clifford_counts[k] += m + 1;
             }
+            // Native lowering shared with the compiler's LowerPass.
+            let c = xtalk_pass::lower_to_native(&c);
             let sched = Executor::asap_schedule(&c, device.calibration());
             let cfg = ExecutorConfig {
                 shots: config.shots,
@@ -145,6 +147,7 @@ pub fn run_rb_bin(device: &Device, edges: &[Edge], config: &RbConfig) -> Vec<(Ed
                 cx_counts[k] += rb_sequence(&mut c, qa, qb, m, 2 * k as u32, &mut rng);
                 clifford_counts[k] += m + 1;
             }
+            let c = xtalk_pass::lower_to_native(&c);
             let sched = Executor::asap_schedule(&c, device.calibration());
             let cfg = ExecutorConfig {
                 shots: config.shots,

@@ -2,6 +2,8 @@
 
 use std::error::Error;
 use std::fmt;
+use xtalk_budget::Exhausted;
+use xtalk_pass::PassError;
 
 /// Errors produced by the scheduling and routing layers.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -26,6 +28,17 @@ pub enum CoreError {
     /// A scheduler needs crosstalk characterization data that the context
     /// does not provide.
     MissingCharacterization,
+    /// The circuit declares more qubits than the device provides.
+    WidthExceeded {
+        /// Qubits the circuit declares.
+        circuit: usize,
+        /// Qubits the device provides.
+        device: usize,
+    },
+    /// The execution budget ran out before a compile stage could start.
+    Budget(Exhausted),
+    /// An injected fault fired at a pass boundary (`pass.<id>`).
+    Fault(String),
 }
 
 impl fmt::Display for CoreError {
@@ -44,11 +57,31 @@ impl fmt::Display for CoreError {
             CoreError::MissingCharacterization => {
                 write!(f, "scheduler context lacks crosstalk characterization data")
             }
+            CoreError::WidthExceeded { circuit, device } => {
+                write!(f, "circuit uses {circuit} qubits but the device has {device}")
+            }
+            CoreError::Budget(e) => {
+                write!(f, "budget exhausted before the stage could run: {}", e.as_str())
+            }
+            CoreError::Fault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }
 
 impl Error for CoreError {}
+
+impl From<PassError<CoreError>> for CoreError {
+    /// Flattens a managed pass failure: the cross-cutting variants map to
+    /// [`CoreError::Budget`] / [`CoreError::Fault`], a stage failure
+    /// passes through unchanged.
+    fn from(e: PassError<CoreError>) -> CoreError {
+        match e {
+            PassError::Budget(b) => CoreError::Budget(b),
+            PassError::Fault(msg) => CoreError::Fault(msg),
+            PassError::Pass(inner) => inner,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

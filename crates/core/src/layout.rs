@@ -88,6 +88,11 @@ impl Layout {
         }
     }
 
+    /// Number of physical qubits the layout targets.
+    pub fn num_physical(&self) -> usize {
+        self.logi.len()
+    }
+
     /// The full logical → physical vector.
     pub fn mapping(&self) -> &[u32] {
         &self.phys

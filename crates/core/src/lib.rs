@@ -27,22 +27,32 @@
 //! Also here: SWAP-path routing ([`routing`]), the paper's application
 //! benchmarks ([`bench_circuits`]), and end-to-end helpers ([`pipeline`])
 //! that schedule, execute (via `xtalk-sim`) and score circuits.
+//!
+//! The compile flow itself is expressed as typed passes ([`passes`])
+//! over hashable artifacts, driven by a [`Compiler`] that applies
+//! spans, fault points, budget polls and a content-addressed artifact
+//! cache uniformly (see `xtalk-pass`).
 
 pub mod bench_circuits;
+mod compile;
 mod context;
 mod error;
 pub mod layout;
 pub mod optimize;
+pub mod passes;
 pub mod pipeline;
 mod realize;
 pub mod routing;
 pub mod sched;
 pub mod transpile;
 
+pub use compile::Compiler;
 pub use context::SchedulerContext;
 pub use error::CoreError;
+pub use passes::{NativeCircuit, PlacedCircuit, RealizedSchedule, ScheduledArtifact};
+pub use pipeline::{run_scheduled_opts, RunOpts};
 pub use realize::{realize, to_barriered_circuit};
 pub use sched::par::ParSched;
 pub use sched::serial::SerialSched;
-pub use sched::xtalk::{OrderingPolicy, XtalkSched, XtalkSchedReport};
+pub use sched::xtalk::{Engine, OrderingPolicy, XtalkSched, XtalkSchedReport};
 pub use sched::Scheduler;

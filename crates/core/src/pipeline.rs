@@ -1,24 +1,61 @@
 //! End-to-end flows: schedule → execute → score, with readout-error
 //! mitigation — the measurement methodology of the paper's Section 8.4.
+//!
+//! Execution has one entry point, [`run_scheduled_opts`], parameterized
+//! by [`RunOpts`]; the historical `run_scheduled` /
+//! `run_scheduled_threads` / `run_scheduled_budgeted` triplet survives
+//! as deprecated one-line shims. The metric functions delegate to an
+//! ephemeral [`crate::Compiler`] so every stage runs through the pass
+//! manager; construct the `Compiler` yourself to share its artifact
+//! cache across calls.
 
-use crate::{CoreError, Scheduler, SchedulerContext};
+use crate::{Compiler, CoreError, Scheduler, SchedulerContext};
 use xtalk_budget::Budget;
 use xtalk_device::Device;
-use xtalk_ir::{Circuit, Qubit, ScheduledCircuit};
-use xtalk_sim::mitigation::CalibrationMatrix;
-use xtalk_sim::tomography::{
-    bell_phi_plus, expectations_from_distributions, tomography_circuits, DensityMatrix2,
-};
-use xtalk_sim::{ideal, metrics, Counts, Executor, ExecutorConfig, RunOutcome};
+use xtalk_ir::{Circuit, ScheduledCircuit};
+use xtalk_sim::{Counts, Executor, ExecutorConfig, RunOutcome};
 
-/// Executes a schedule on a device with the given shot budget.
-pub fn run_scheduled(device: &Device, sched: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
-    run_scheduled_threads(device, sched, shots, seed, 1)
+/// Execution options for [`run_scheduled_opts`].
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// OS threads to split trajectory sampling across (`0` = available
+    /// parallelism). Counts are bit-identical at any thread count.
+    pub threads: usize,
+    /// Cooperative budget polled at shot-batch boundaries; exhaustion
+    /// yields an honest completed-shot prefix, not an error.
+    pub budget: Budget,
 }
 
-/// [`run_scheduled`] with the Monte-Carlo trials split across `threads`
-/// OS threads (`0` = all available parallelism). Bit-identical to the
-/// sequential form for a fixed seed.
+impl Default for RunOpts {
+    /// Sequential, unlimited — the behavior of the old `run_scheduled`.
+    fn default() -> Self {
+        RunOpts { threads: 1, budget: Budget::unlimited() }
+    }
+}
+
+/// Executes a schedule on a device with the given shot budget. The
+/// returned [`RunOutcome`] reports the exact completed-shot prefix; its
+/// counts are bit-identical to a fresh run of exactly `shots_completed`
+/// shots at any thread count.
+pub fn run_scheduled_opts(
+    device: &Device,
+    sched: &ScheduledCircuit,
+    shots: u64,
+    seed: u64,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let cfg = ExecutorConfig { shots, seed, ..Default::default() };
+    Executor::with_config(device, cfg).run_budgeted(sched, opts.threads, &opts.budget)
+}
+
+/// Executes a schedule sequentially with an unlimited budget.
+#[deprecated(since = "0.6.0", note = "use `run_scheduled_opts` with `RunOpts::default()`")]
+pub fn run_scheduled(device: &Device, sched: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
+    run_scheduled_opts(device, sched, shots, seed, &RunOpts::default()).counts
+}
+
+/// Executes a schedule across `threads` OS threads.
+#[deprecated(since = "0.6.0", note = "use `run_scheduled_opts` with `RunOpts { threads, .. }`")]
 pub fn run_scheduled_threads(
     device: &Device,
     sched: &ScheduledCircuit,
@@ -26,14 +63,12 @@ pub fn run_scheduled_threads(
     seed: u64,
     threads: usize,
 ) -> Counts {
-    let cfg = ExecutorConfig { shots, seed, ..Default::default() };
-    Executor::with_config(device, cfg).run_parallel(sched, threads)
+    run_scheduled_opts(device, sched, shots, seed, &RunOpts { threads, ..Default::default() })
+        .counts
 }
 
-/// [`run_scheduled_threads`] under a cooperative [`Budget`], polled at
-/// shot-batch boundaries. The returned [`RunOutcome`] reports the exact
-/// completed-shot prefix; its counts are bit-identical to a fresh run of
-/// exactly `shots_completed` shots at any thread count.
+/// Executes a schedule under a cooperative [`Budget`].
+#[deprecated(since = "0.6.0", note = "use `run_scheduled_opts` with `RunOpts { threads, budget }`")]
 pub fn run_scheduled_budgeted(
     device: &Device,
     sched: &ScheduledCircuit,
@@ -42,8 +77,21 @@ pub fn run_scheduled_budgeted(
     threads: usize,
     budget: &Budget,
 ) -> RunOutcome {
-    let cfg = ExecutorConfig { shots, seed, ..Default::default() };
-    Executor::with_config(device, cfg).run_budgeted(sched, threads, budget)
+    run_scheduled_opts(
+        device,
+        sched,
+        shots,
+        seed,
+        &RunOpts { threads, budget: budget.clone() },
+    )
+}
+
+/// The SWAP-circuit metric's outcome (Figures 5–7).
+pub struct SwapRunOutcome {
+    /// `1 − F(ρ, |Φ+⟩)` — lower is better.
+    pub error_rate: f64,
+    /// Schedule makespan in ns (Figure 5d).
+    pub duration_ns: u64,
 }
 
 /// The SWAP-circuit metric (Figures 5–7): schedules the meet-in-the-middle
@@ -54,14 +102,6 @@ pub fn run_scheduled_budgeted(
 /// # Errors
 ///
 /// Propagates routing/scheduling failures.
-pub struct SwapRunOutcome {
-    /// `1 − F(ρ, |Φ+⟩)` — lower is better.
-    pub error_rate: f64,
-    /// Schedule makespan in ns (Figure 5d).
-    pub duration_ns: u64,
-}
-
-/// See [`SwapRunOutcome`].
 pub fn swap_bell_error(
     device: &Device,
     ctx: &SchedulerContext,
@@ -92,39 +132,8 @@ pub fn swap_bell_error_threads(
     seed: u64,
     threads: usize,
 ) -> Result<SwapRunOutcome, CoreError> {
-    let _span = xtalk_obs::span("pipeline.swap_bell");
-    let bench = crate::routing::swap_benchmark(device.topology(), a, b)?;
-    let (qa, qb) = bench.bell_pair;
-
-    let cal_matrix = {
-        let _cal = xtalk_obs::span("readout_cal");
-        CalibrationMatrix::measure(device, &[qa.raw(), qb.raw()], shots_per_basis.max(512), seed)
-    };
-
-    let mut duration = 0;
-    let mut data = Vec::new();
-    for (idx, (setting, circuit)) in
-        tomography_circuits(&bench.circuit, qa, qb).into_iter().enumerate()
-    {
-        let sched = scheduler.schedule(&circuit, ctx)?;
-        duration = duration.max(sched.makespan());
-        let counts = {
-            let _exec = xtalk_obs::span("execute");
-            run_scheduled_threads(
-                device,
-                &sched,
-                shots_per_basis,
-                seed ^ ((idx as u64 + 1) << 32),
-                threads,
-            )
-        };
-        data.push((setting, cal_matrix.mitigate(&counts)));
-    }
-    let rho = DensityMatrix2::from_expectations(&expectations_from_distributions(&data));
-    Ok(SwapRunOutcome {
-        error_rate: (1.0 - rho.fidelity_with(&bell_phi_plus())).clamp(0.0, 1.0),
-        duration_ns: duration,
-    })
+    Compiler::new(device, ctx.clone())
+        .swap_bell_error(scheduler, a, b, shots_per_basis, seed, threads)
 }
 
 /// The QAOA metric (Figure 8): cross entropy of the mitigated measured
@@ -142,13 +151,7 @@ pub fn qaoa_cross_entropy(
     shots: u64,
     seed: u64,
 ) -> Result<f64, CoreError> {
-    let sched = scheduler.schedule(circuit, ctx)?;
-    let counts = run_scheduled(device, &sched, shots, seed);
-    let measured_qubits = measured_qubits(circuit);
-    let cal = CalibrationMatrix::measure(device, &measured_qubits, shots.max(1024), seed ^ 0xfe);
-    let mitigated = cal.mitigate(&counts);
-    let ideal = ideal::distribution(circuit);
-    Ok(metrics::cross_entropy(&ideal, &mitigated, 0.5 / shots as f64))
+    Compiler::new(device, ctx.clone()).qaoa_cross_entropy(scheduler, circuit, shots, seed)
 }
 
 /// The Hidden Shift metric (Figure 9): fraction of (mitigated) trials
@@ -166,30 +169,8 @@ pub fn hidden_shift_error(
     shots: u64,
     seed: u64,
 ) -> Result<f64, CoreError> {
-    let sched = scheduler.schedule(circuit, ctx)?;
-    let counts = run_scheduled(device, &sched, shots, seed);
-    let measured = measured_qubits(circuit);
-    let cal = CalibrationMatrix::measure(device, &measured, shots.max(1024), seed ^ 0xfd);
-    let mitigated = cal.mitigate(&counts);
-    Ok((1.0 - mitigated[target as usize]).clamp(0.0, 1.0))
-}
-
-/// The physical qubits measured by a circuit, ordered by classical bit.
-///
-/// # Panics
-///
-/// Panics if two measurements target the same classical bit.
-fn measured_qubits(circuit: &Circuit) -> Vec<u32> {
-    let mut by_clbit: Vec<Option<Qubit>> = vec![None; circuit.num_clbits()];
-    for ins in circuit.iter().filter(|i| i.gate().is_measurement()) {
-        let c = ins.clbit().expect("measure carries clbit").index();
-        assert!(by_clbit[c].is_none(), "clbit {c} written twice");
-        by_clbit[c] = Some(ins.qubits()[0]);
-    }
-    by_clbit
-        .into_iter()
-        .map(|q| q.expect("every clbit is written").raw())
-        .collect()
+    Compiler::new(device, ctx.clone())
+        .hidden_shift_error(scheduler, circuit, target, shots, seed)
 }
 
 #[cfg(test)]
@@ -197,8 +178,10 @@ mod tests {
     use super::*;
     use crate::bench_circuits::{hidden_shift, qaoa_ansatz};
     use crate::{ParSched, SerialSched, XtalkSched};
+    use xtalk_sim::{ideal, metrics};
 
     #[test]
+    #[allow(deprecated)] // the shims must stay bit-identical to the new entry point
     fn budgeted_run_matches_plain_run_when_unlimited() {
         let device = Device::line(3, 2);
         let ctx = SchedulerContext::from_ground_truth(&device);
@@ -210,6 +193,14 @@ mod tests {
         assert!(out.complete);
         assert_eq!(out.shots_completed, 300);
         assert_eq!(out.counts, plain);
+        let via_opts = run_scheduled_opts(
+            &device,
+            &sched,
+            300,
+            9,
+            &RunOpts { threads: 4, ..Default::default() },
+        );
+        assert_eq!(via_opts.counts, plain);
         // A cancelled budget yields an honest empty prefix.
         let budget = Budget::unlimited();
         budget.cancel_token().cancel();

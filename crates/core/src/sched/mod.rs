@@ -4,9 +4,12 @@ pub mod par;
 pub mod serial;
 pub mod xtalk;
 
+use crate::sched::xtalk::XtalkSchedReport;
 use crate::{CoreError, SchedulerContext};
+use xtalk_budget::Budget;
 use xtalk_device::Edge;
 use xtalk_ir::{Circuit, ScheduledCircuit};
+use xtalk_pass::Fnv1a;
 
 /// An instruction scheduler: assigns start times to a hardware-compliant
 /// circuit.
@@ -26,6 +29,33 @@ pub trait Scheduler {
 
     /// Display name (used in experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Folds the scheduler's identity *and configuration* into a cache
+    /// key. The default covers configuration-free schedulers; schedulers
+    /// with knobs (e.g. `XtalkSched`'s ω, leaf cap, ordering, engine)
+    /// must override it so differently-configured instances never share
+    /// cached schedules.
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_str(self.name());
+    }
+
+    /// Schedules under a cooperative [`Budget`], returning the search
+    /// report when the scheduler produces one. The default ignores the
+    /// budget — the baseline schedulers are single-pass — and reports
+    /// nothing; anytime schedulers override it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    fn schedule_report(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+        budget: &Budget,
+    ) -> Result<(ScheduledCircuit, Option<XtalkSchedReport>), CoreError> {
+        let _ = budget;
+        Ok((self.schedule(circuit, ctx)?, None))
+    }
 }
 
 /// Verifies that every two-qubit gate sits on a calibrated coupling edge.

@@ -33,6 +33,19 @@ pub struct XtalkSched {
     omega: f64,
     max_leaves: u64,
     ordering: OrderingPolicy,
+    engine: Engine,
+}
+
+/// Which decision engine [`Scheduler::schedule_report`] dispatches to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Lazy conflict-driven branch-and-bound (the default).
+    #[default]
+    Lazy,
+    /// Eager SMT-style encoding solved by [`xtalk_smt::Optimizer`] —
+    /// exponential in candidate pairs; for small instances and
+    /// cross-validation.
+    Smt,
 }
 
 /// How serialization *order* is decided when a pair must be serialized.
@@ -81,13 +94,29 @@ impl XtalkSched {
     /// Panics if `omega` is outside `[0, 1]`.
     pub fn new(omega: f64) -> Self {
         assert!((0.0..=1.0).contains(&omega), "omega must be in [0, 1], got {omega}");
-        XtalkSched { omega, max_leaves: 100_000, ordering: OrderingPolicy::Optimal }
+        XtalkSched {
+            omega,
+            max_leaves: 100_000,
+            ordering: OrderingPolicy::Optimal,
+            engine: Engine::Lazy,
+        }
     }
 
     /// Selects the serialization-ordering policy (see [`OrderingPolicy`]).
     pub fn with_ordering(mut self, ordering: OrderingPolicy) -> Self {
         self.ordering = ordering;
         self
+    }
+
+    /// Selects the decision engine (see [`Engine`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured decision engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Overrides the anytime leaf budget.
@@ -230,6 +259,23 @@ impl XtalkSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
+        self.schedule_via_smt_budgeted(circuit, ctx, &Budget::unlimited())
+    }
+
+    /// [`XtalkSched::schedule_via_smt`] under a cooperative [`Budget`]
+    /// threaded into the optimizer's anytime search: on exhaustion the
+    /// best solution found so far is returned with
+    /// `report.complete == false`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule_via_smt_budgeted(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+        budget: &Budget,
+    ) -> Result<(ScheduledCircuit, XtalkSchedReport), CoreError> {
         let _span = xtalk_obs::span("sched.xtalk_smt");
         check_hardware_compliant(circuit, ctx)?;
         let candidates = Self::candidate_pairs(circuit, ctx);
@@ -288,8 +334,7 @@ impl XtalkSched {
         }
 
         let obj = CostObj { circuit, ctx, omega: self.omega, pair_bools: &pair_bools };
-        let (sol, outcome) =
-            xtalk_smt::Optimizer::new(model).minimize_budgeted(&obj, &Budget::unlimited());
+        let (sol, outcome) = xtalk_smt::Optimizer::new(model).minimize_budgeted(&obj, budget);
         let sol = sol.ok_or(CoreError::CyclicConstraints)?;
         let serializations = obj.serializations(&sol.bools);
         let sched = realize(circuit, ctx, &serializations)?;
@@ -311,11 +356,41 @@ impl Scheduler for XtalkSched {
         circuit: &Circuit,
         ctx: &SchedulerContext,
     ) -> Result<ScheduledCircuit, CoreError> {
-        self.schedule_with_report(circuit, ctx).map(|(s, _)| s)
+        match self.engine {
+            Engine::Lazy => self.schedule_with_report(circuit, ctx).map(|(s, _)| s),
+            Engine::Smt => self.schedule_via_smt(circuit, ctx).map(|(s, _)| s),
+        }
     }
 
     fn name(&self) -> &'static str {
         "XtalkSched"
+    }
+
+    fn fingerprint(&self, h: &mut xtalk_pass::Fnv1a) {
+        h.write_str(self.name());
+        h.write_f64(self.omega);
+        h.write_u64(self.max_leaves);
+        h.write_u8(match self.ordering {
+            OrderingPolicy::Optimal => 0,
+            OrderingPolicy::ProgramOrder => 1,
+        });
+        h.write_u8(match self.engine {
+            Engine::Lazy => 0,
+            Engine::Smt => 1,
+        });
+    }
+
+    fn schedule_report(
+        &self,
+        circuit: &Circuit,
+        ctx: &SchedulerContext,
+        budget: &Budget,
+    ) -> Result<(ScheduledCircuit, Option<XtalkSchedReport>), CoreError> {
+        let (sched, report) = match self.engine {
+            Engine::Lazy => self.schedule_budgeted(circuit, ctx, budget)?,
+            Engine::Smt => self.schedule_via_smt_budgeted(circuit, ctx, budget)?,
+        };
+        Ok((sched, Some(report)))
     }
 }
 

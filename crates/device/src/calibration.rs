@@ -170,6 +170,12 @@ impl Calibration {
         self.cx_error.contains_key(&e)
     }
 
+    /// All calibrated CNOT sites, in normalized `(lo, hi)` order — a
+    /// deterministic iteration order suitable for content hashing.
+    pub fn cx_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.cx_error.keys().copied()
+    }
+
     /// Independent CNOT error rate `E(g)` for edge `e`.
     ///
     /// # Panics

@@ -1,0 +1,309 @@
+//! Content hashing for pipeline artifacts.
+//!
+//! Every artifact flowing between passes implements [`ContentHash`]: a
+//! structural hash over the *data* of the value (not its memory layout or
+//! serialization), fed through [FNV-1a]. Two artifacts hash equal iff a
+//! pass would treat them identically, which is what makes the hash usable
+//! as a cache key — the qasm text → parse → dump → parse round trip lands
+//! on the same key.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use xtalk_device::{Calibration, Edge, Topology};
+use xtalk_ir::{Circuit, Clbit, Gate, Instruction, Qubit, ScheduleSlot, ScheduledCircuit};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over a byte stream.
+///
+/// ```
+/// use xtalk_pass::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write_str("hello");
+/// assert_ne!(h.finish(), Fnv1a::new().finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64` so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern (exact, no rounding).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Structural hash of an artifact's content.
+///
+/// Implementations must satisfy: `a == b` (structurally) implies equal
+/// hashes, independent of how the value was produced (parsed, built,
+/// cloned, re-serialized).
+pub trait ContentHash {
+    /// Feeds the value's content into `h`.
+    fn content_hash(&self, h: &mut Fnv1a);
+
+    /// Convenience: hashes the value standalone.
+    fn hash_value(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.content_hash(&mut h);
+        h.finish()
+    }
+}
+
+macro_rules! impl_via {
+    ($t:ty, $self:ident, $h:ident, $body:expr) => {
+        impl ContentHash for $t {
+            fn content_hash(&$self, $h: &mut Fnv1a) {
+                $body
+            }
+        }
+    };
+}
+
+impl_via!(u8, self, h, h.write_u8(*self));
+impl_via!(u32, self, h, h.write_u32(*self));
+impl_via!(u64, self, h, h.write_u64(*self));
+impl_via!(usize, self, h, h.write_usize(*self));
+impl_via!(i64, self, h, h.write_u64(*self as u64));
+impl_via!(f64, self, h, h.write_f64(*self));
+impl_via!(bool, self, h, h.write_u8(u8::from(*self)));
+impl_via!(str, self, h, h.write_str(self));
+impl_via!(String, self, h, h.write_str(self));
+
+impl<T: ContentHash + ?Sized> ContentHash for &T {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        (**self).content_hash(h);
+    }
+}
+
+impl<T: ContentHash> ContentHash for Option<T> {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.content_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for [T] {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_usize(self.len());
+        for v in self {
+            v.content_hash(h);
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for Vec<T> {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        self.as_slice().content_hash(h);
+    }
+}
+
+impl<A: ContentHash, B: ContentHash> ContentHash for (A, B) {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        self.0.content_hash(h);
+        self.1.content_hash(h);
+    }
+}
+
+impl<A: ContentHash, B: ContentHash, C: ContentHash> ContentHash for (A, B, C) {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        self.0.content_hash(h);
+        self.1.content_hash(h);
+        self.2.content_hash(h);
+    }
+}
+
+impl ContentHash for Qubit {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_u32(self.raw());
+    }
+}
+
+impl ContentHash for Clbit {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_u32(self.raw());
+    }
+}
+
+impl ContentHash for Gate {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        // Gate names are unique per variant; parameters carry the rest.
+        h.write_str(self.name());
+        for p in self.params() {
+            h.write_f64(p);
+        }
+    }
+}
+
+impl ContentHash for Instruction {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        self.gate().content_hash(h);
+        self.qubits().content_hash(h);
+        self.clbit().content_hash(h);
+    }
+}
+
+impl ContentHash for Circuit {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_usize(self.num_qubits());
+        h.write_usize(self.num_clbits());
+        h.write_usize(self.len());
+        for ins in self.iter() {
+            ins.content_hash(h);
+        }
+    }
+}
+
+impl ContentHash for ScheduleSlot {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_u64(self.start);
+        h.write_u64(self.duration);
+    }
+}
+
+impl ContentHash for ScheduledCircuit {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        self.circuit().content_hash(h);
+        self.slots().content_hash(h);
+    }
+}
+
+impl ContentHash for Edge {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_u32(self.lo());
+        h.write_u32(self.hi());
+    }
+}
+
+impl ContentHash for Topology {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        h.write_usize(self.num_qubits());
+        self.edges().content_hash(h);
+    }
+}
+
+impl ContentHash for Calibration {
+    fn content_hash(&self, h: &mut Fnv1a) {
+        let d = self.durations();
+        h.write_u64(d.sq_pulse_ns);
+        h.write_u64(d.measure_ns);
+        let n = self.num_qubits();
+        h.write_usize(n);
+        for q in 0..n as u32 {
+            h.write_f64(self.sq_error(q));
+            h.write_f64(self.readout_error(q));
+            h.write_f64(self.t1_us(q));
+            h.write_f64(self.t2_us(q));
+        }
+        for e in self.cx_edges() {
+            e.content_hash(h);
+            h.write_f64(self.cx_error(e));
+            h.write_u64(self.cx_duration(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut a = Fnv1a::new();
+        ("ab".to_string(), "c".to_string()).content_hash(&mut a);
+        let mut b = Fnv1a::new();
+        ("a".to_string(), "bc".to_string()).content_hash(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn circuit_hash_tracks_structure() {
+        let mut a = Circuit::new(2, 0);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2, 0);
+        b.h(0).cx(0, 1);
+        assert_eq!(a.hash_value(), b.hash_value());
+        b.h(1);
+        assert_ne!(a.hash_value(), b.hash_value());
+    }
+
+    #[test]
+    fn gate_params_distinguish() {
+        assert_ne!(Gate::U1(0.5).hash_value(), Gate::U1(0.25).hash_value());
+        assert_ne!(Gate::X.hash_value(), Gate::Y.hash_value());
+    }
+
+    #[test]
+    fn calibration_hash_sensitive_to_drift() {
+        let topo = Topology::line(4);
+        let cal = Calibration::sample(&topo, &Default::default(), 3);
+        assert_eq!(cal.hash_value(), cal.clone().hash_value());
+        assert_ne!(cal.hash_value(), cal.drifted(9).hash_value());
+    }
+}

@@ -2,16 +2,18 @@
 //!
 //! Characterization is the expensive step of the paper's toolflow (hours
 //! of machine time at paper scale), and its product stays valid until the
-//! next calibration day. The cache therefore keys entries by
-//! `(device, policy, seed)` *plus the calibration epoch*: an
-//! `advance_day` request drifts every device (via
-//! [`xtalk_device::Device::on_day`], which applies the daily-drift model
-//! of `xtalk-device`'s calibration) and bumps the epoch, instantly
-//! invalidating every cached characterization.
+//! next calibration day. Since PR 5 this is a *typed layer over the
+//! content-addressed [`ArtifactCache`]* from `xtalk-pass`: entries live
+//! under pass id `"charac"`, addressed by the FNV-1a hash of
+//! `(policy, seed)` and the [`EpochToken`] of `(device, epoch)` — the
+//! same store that holds compile artifacts, so one `advance_day`
+//! invalidation sweep covers characterizations and compilation results
+//! alike, and charac lookups show up in the `pass.cache.hit`/`miss`
+//! profiling counters.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use xtalk_charac::{Characterization, CharacterizationReport};
+use xtalk_pass::{ArtifactCache, EpochToken, Fnv1a};
 
 /// Identity of one characterization run.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -26,6 +28,17 @@ pub struct CacheKey {
     pub epoch: u64,
 }
 
+impl CacheKey {
+    /// The artifact-cache coordinates: content hash of the request
+    /// parameters plus the device-epoch token.
+    fn coords(&self) -> (u64, EpochToken) {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.policy);
+        h.write_u64(self.seed);
+        (h.finish(), EpochToken::new(self.device.clone(), self.epoch))
+    }
+}
+
 /// A cached characterization plus (for measured policies) its cost report.
 #[derive(Clone, PartialEq, Debug)]
 pub struct CacheEntry {
@@ -35,16 +48,35 @@ pub struct CacheEntry {
     pub report: Option<CharacterizationReport>,
 }
 
-/// Thread-safe characterization store.
-#[derive(Default)]
+/// The pass id characterization entries are stored under.
+const PASS_ID: &str = "charac";
+
+/// Thread-safe characterization store over a shared [`ArtifactCache`].
 pub struct CharacCache {
-    map: Mutex<HashMap<CacheKey, Arc<CacheEntry>>>,
+    artifacts: Arc<ArtifactCache>,
+}
+
+impl Default for CharacCache {
+    fn default() -> Self {
+        CharacCache::new()
+    }
 }
 
 impl CharacCache {
-    /// An empty cache.
+    /// An empty cache over a private artifact store.
     pub fn new() -> Self {
-        CharacCache::default()
+        CharacCache::over(Arc::new(ArtifactCache::new()))
+    }
+
+    /// A characterization layer over an existing artifact store — the
+    /// serving configuration, where compile artifacts share the store.
+    pub fn over(artifacts: Arc<ArtifactCache>) -> Self {
+        CharacCache { artifacts }
+    }
+
+    /// The underlying artifact store.
+    pub fn artifacts(&self) -> &Arc<ArtifactCache> {
+        &self.artifacts
     }
 
     /// Looks up `key`; on a miss, runs `build` (outside the lock — two
@@ -56,38 +88,42 @@ impl CharacCache {
         key: CacheKey,
         build: impl FnOnce() -> CacheEntry,
     ) -> (Arc<CacheEntry>, bool) {
-        if let Some(hit) = self.map.lock().unwrap().get(&key).cloned() {
+        if let Some(hit) = self.get(&key) {
             return (hit, true);
         }
         let entry = Arc::new(build());
-        self.map.lock().unwrap().insert(key, entry.clone());
+        self.insert(key, entry.clone());
         (entry, false)
     }
 
     /// Direct lookup without building.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
-        self.map.lock().unwrap().get(key).cloned()
+        let (hash, epoch) = key.coords();
+        self.artifacts.get::<CacheEntry>(PASS_ID, hash, &epoch)
     }
 
     /// Stores an entry (used by the fallible-build path in
     /// [`crate::state::ServeState::characterization`], which cannot use
     /// [`CharacCache::get_or_build`]'s infallible closure).
     pub fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
-        self.map.lock().unwrap().insert(key, entry);
+        let (hash, epoch) = key.coords();
+        self.artifacts.put(PASS_ID, hash, &epoch, entry);
     }
 
     /// Drops every entry from an epoch before `epoch` — called when the
-    /// calibration day advances.
+    /// calibration day advances. Sweeps the whole shared artifact store,
+    /// compile artifacts included: drifted calibration invalidates both.
     pub fn invalidate_before(&self, epoch: u64) {
-        self.map.lock().unwrap().retain(|k, _| k.epoch >= epoch);
+        self.artifacts.invalidate_before(epoch);
     }
 
-    /// Number of live entries.
+    /// Number of live characterization entries (compile artifacts in the
+    /// shared store are not counted).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.artifacts.len_of(PASS_ID)
     }
 
-    /// `true` if no entries are cached.
+    /// `true` if no characterizations are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -96,7 +132,6 @@ impl CharacCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xtalk_charac::Characterization;
     use xtalk_device::Device;
 
     fn key(epoch: u64) -> CacheKey {
@@ -140,5 +175,20 @@ mod tests {
         assert!(!hit, "epoch-0 entry must be gone");
         let (_, hit) = cache.get_or_build(key(1), || panic!("epoch-1 entry must survive"));
         assert!(hit);
+    }
+
+    #[test]
+    fn charac_and_compile_artifacts_share_the_store() {
+        let artifacts = Arc::new(ArtifactCache::new());
+        let cache = CharacCache::over(Arc::clone(&artifacts));
+        cache.insert(key(0), Arc::new(entry()));
+        // A compile artifact under another pass id coexists but is not
+        // counted as a characterization.
+        artifacts.put("lower", 1, &EpochToken::new("d", 0), Arc::new(1u64));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(artifacts.len(), 2);
+        // One sweep invalidates both kinds.
+        cache.invalidate_before(1);
+        assert_eq!(artifacts.len(), 0);
     }
 }

@@ -13,30 +13,38 @@
 //!
 //! Every handler receives the job's [`Budget`] (remaining deadline +
 //! cancel token) and threads it into the budget-aware library layers:
-//! `sleep` slices its wait into checked chunks, `run` uses the
-//! prefix-deterministic [`run_scheduled_budgeted`] executor, `schedule`
-//! uses the anytime [`XtalkSched::schedule_budgeted`] search, and
+//! `sleep` slices its wait into checked chunks, `schedule` and `run` go
+//! through a budgeted [`Compiler`] whose anytime schedule/execute passes
+//! feed the budget into the crosstalk search and the shot loop, and
 //! `characterize` treats a truncated sweep as a failed build riding the
 //! degradation ladder. Truncated jobs still answer `ok: true`, flagged
 //! `"budget_exhausted": true` with provenance (`shots_completed`,
 //! `leaves`, `slept_ms`) saying exactly how far they got.
+//!
+//! # Artifact sharing
+//!
+//! All compilers are built over the server's one content-addressed
+//! artifact store ([`ServeState::cache`]'s underlying
+//! [`xtalk_pass::ArtifactCache`]), keyed to the device's current
+//! calibration epoch — so two jobs compiling the same source for the
+//! same device share the lower/place/route prefix even across different
+//! schedulers, and `advance_day` invalidates compile artifacts together
+//! with characterizations.
 
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::protocol::{err_response, Request};
 use crate::state::{CharacSource, ServeState};
+use std::sync::Arc;
 use xtalk_budget::Budget;
 use xtalk_charac::Characterization;
-use xtalk_core::layout::route_with_greedy_layout;
-use xtalk_core::optimize::fuse_single_qubit_gates;
-use xtalk_core::pipeline::{run_scheduled_budgeted, swap_bell_error};
-use xtalk_core::sched::check_hardware_compliant;
-use xtalk_core::transpile::lower_to_native;
 use xtalk_core::{
-    ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched, XtalkSchedReport,
+    Compiler, ParSched, Scheduler, SchedulerContext, ScheduledArtifact, SerialSched,
+    XtalkSched, XtalkSchedReport,
 };
 use xtalk_device::Device;
-use xtalk_ir::{qasm, Circuit, ScheduledCircuit};
+use xtalk_ir::{qasm, Circuit};
+use xtalk_pass::EpochToken;
 
 /// Executes one heavy request to completion under the job's [`Budget`].
 /// Light requests (`ping`, `stats`, `shutdown`, `advance_day`, `cancel`)
@@ -131,9 +139,11 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
         }
         Request::Schedule { device, qasm, scheduler, omega, policy, seed } => {
             let (dev, ctx, meta) = context_for(state, device, policy, *seed, budget)?;
-            let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let (sched, sched_name, report) =
-                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &ctx, budget)?;
+            let (prep, budgeted) = compilers(state, &dev, &ctx, budget);
+            let circuit = prepare_circuit(qasm, &prep)?;
+            let (artifact, sched_name) =
+                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &budgeted)?;
+            let sched = &artifact.sched;
             let mut fields = vec![
                 ("device".to_string(), dev.name().into()),
                 ("scheduler".to_string(), sched_name.into()),
@@ -142,7 +152,7 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
                 ("cached".to_string(), meta.cached.into()),
                 ("epoch".to_string(), state.epoch().into()),
             ];
-            let truncated = annotate_search(&mut fields, &report);
+            let truncated = annotate_search(&mut fields, &artifact.report);
             annotate_budget(&mut fields, budget, truncated);
             meta.annotate(&mut fields);
             let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
@@ -151,10 +161,13 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
         }
         Request::Run { device, qasm, scheduler, omega, policy, shots, seed, threads } => {
             let (dev, ctx, meta) = context_for(state, device, policy, *seed, budget)?;
-            let circuit = prepare_circuit(qasm, &dev, &ctx)?;
-            let (sched, sched_name, report) =
-                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &ctx, budget)?;
-            let outcome = run_scheduled_budgeted(&dev, &sched, *shots, *seed, *threads, budget);
+            let (prep, budgeted) = compilers(state, &dev, &ctx, budget);
+            let circuit = prepare_circuit(qasm, &prep)?;
+            let (artifact, sched_name) =
+                schedule_budget_aware(scheduler, *omega, &meta, &circuit, &budgeted)?;
+            let sched = &artifact.sched;
+            let outcome =
+                budgeted.run(sched, *shots, *seed, *threads).map_err(|e| e.to_string())?;
             let counts = &outcome.counts;
             let mut entries: Vec<(u64, u64)> = counts.iter().collect();
             entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -176,7 +189,7 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
                 ("cached".to_string(), meta.cached.into()),
                 ("counts".to_string(), counts_obj),
             ];
-            let search_truncated = annotate_search(&mut fields, &report);
+            let search_truncated = annotate_search(&mut fields, &artifact.report);
             annotate_budget(&mut fields, budget, search_truncated || !outcome.complete);
             meta.annotate(&mut fields);
             let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
@@ -185,6 +198,7 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
         }
         Request::SwapDemo { device, from, to, shots, seed } => {
             let (dev, ctx, _meta) = context_for(state, device, "truth", *seed, budget)?;
+            let (prep, _) = compilers(state, &dev, &ctx, budget);
             let schedulers: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(SerialSched::new()),
                 Box::new(ParSched::new()),
@@ -192,13 +206,15 @@ fn run(state: &ServeState, req: &Request, budget: &Budget) -> Result<Json, Strin
             ];
             // Budget checkpoint between schedulers: each leg is a full
             // tomography run, so a partial demo returns the legs it
-            // finished instead of nothing.
+            // finished instead of nothing. One shared compiler means the
+            // tomography circuits' prefix artifacts are reused per leg.
             let mut rows = Vec::new();
             for s in &schedulers {
                 if budget.exhausted().is_some() {
                     break;
                 }
-                let out = swap_bell_error(&dev, &ctx, s.as_ref(), *from, *to, *shots, *seed)
+                let out = prep
+                    .swap_bell_error(s.as_ref(), *from, *to, *shots, *seed, 1)
                     .map_err(|e| e.to_string())?;
                 rows.push(obj([
                     ("scheduler", s.name().into()),
@@ -318,35 +334,47 @@ fn context_for(
     }
 }
 
+/// The two compilers a job runs through, both over the server's shared
+/// artifact store keyed to the device's current calibration epoch: an
+/// *unbudgeted* one for preparation (lower/place/route always complete,
+/// so even a cancelled job has a valid circuit to answer honestly about)
+/// and a *budgeted* one whose anytime schedule/execute passes thread the
+/// job's [`Budget`] into the crosstalk search and the shot loop.
+fn compilers<'d>(
+    state: &ServeState,
+    dev: &'d Device,
+    ctx: &SchedulerContext,
+    budget: &Budget,
+) -> (Compiler<'d>, Compiler<'d>) {
+    let epoch = EpochToken::new(dev.name(), state.epoch());
+    let artifacts = Arc::clone(state.cache.artifacts());
+    let prep =
+        Compiler::with_cache(dev, ctx.clone(), Arc::clone(&artifacts), epoch.clone());
+    let budgeted = Compiler::with_cache(dev, ctx.clone(), artifacts, epoch)
+        .with_budget(budget.clone());
+    (prep, budgeted)
+}
+
 /// Schedules with the scheduler a job actually runs with: the requested
 /// one, unless the context degraded to rung 3 (no conditional terms), in
 /// which case the crosstalk-oblivious `par` replaces it. The requested
 /// name is still validated so a typo fails loudly rather than being
-/// masked by the degradation. The crosstalk scheduler gets the job's
-/// [`Budget`] threaded into its anytime search (and returns its search
-/// report); `par`/`serial` are single-pass and run unbudgeted.
+/// masked by the degradation. Scheduling goes through the budgeted
+/// [`Compiler`], so the crosstalk scheduler's anytime search sees the
+/// job's budget (and its report rides along in the artifact), while
+/// complete schedules land in the shared artifact cache.
 fn schedule_budget_aware(
     name: &str,
     omega: f64,
     meta: &ContextMeta,
     circuit: &Circuit,
-    ctx: &SchedulerContext,
-    budget: &Budget,
-) -> Result<(ScheduledCircuit, String, Option<XtalkSchedReport>), String> {
+    compiler: &Compiler<'_>,
+) -> Result<(Arc<ScheduledArtifact>, String), String> {
     let requested = scheduler_by_name(name, omega)?;
-    if meta.force_par {
-        let par = ParSched::new();
-        let sched = par.schedule(circuit, ctx).map_err(|e| e.to_string())?;
-        return Ok((sched, par.name().to_string(), None));
-    }
-    if name == "xtalk" {
-        let xt = XtalkSched::new(omega);
-        let (sched, report) =
-            xt.schedule_budgeted(circuit, ctx, budget).map_err(|e| e.to_string())?;
-        return Ok((sched, xt.name().to_string(), Some(report)));
-    }
-    let sched = requested.schedule(circuit, ctx).map_err(|e| e.to_string())?;
-    Ok((sched, requested.name().to_string(), None))
+    let actual: Box<dyn Scheduler> =
+        if meta.force_par { Box::new(ParSched::new()) } else { requested };
+    let artifact = compiler.schedule(circuit, actual.as_ref()).map_err(|e| e.to_string())?;
+    Ok((artifact, actual.name().to_string()))
 }
 
 /// Names a scheduler the same way the CLI does.
@@ -362,34 +390,16 @@ pub fn scheduler_by_name(name: &str, omega: f64) -> Result<Box<dyn Scheduler>, S
     })
 }
 
-/// Parses QASM and makes it hardware-compliant for `device`: lower to the
-/// native gate set, fuse single-qubit runs, then place & route unless the
-/// circuit already fits the coupling map at full device width. This is
-/// the same preparation the `xtalk run` CLI applies, so a served job and
-/// a local run of the same source produce the same scheduled circuit.
-pub fn prepare_circuit(
-    source: &str,
-    device: &Device,
-    ctx: &SchedulerContext,
-) -> Result<Circuit, String> {
+/// Parses QASM and makes it hardware-compliant for the compiler's
+/// device: the shared lower → place → route prefix of the pass pipeline
+/// (cached in the compiler's artifact store, so repeat jobs and sibling
+/// schedulers skip it). This is the same preparation the `xtalk run` CLI
+/// applies, so a served job and a local run of the same source produce
+/// the same scheduled circuit.
+pub fn prepare_circuit(source: &str, compiler: &Compiler<'_>) -> Result<Circuit, String> {
     let circuit = qasm::parse(source).map_err(|e| format!("qasm: {e}"))?;
-    let native = fuse_single_qubit_gates(&lower_to_native(&circuit));
-    let width = device.topology().num_qubits();
-    if native.num_qubits() > width {
-        return Err(format!(
-            "circuit uses {} qubits but {} has {width}",
-            native.num_qubits(),
-            device.name(),
-        ));
-    }
-    if check_hardware_compliant(&native, ctx).is_ok() && native.num_qubits() == width {
-        return Ok(native);
-    }
-    let mut padded = Circuit::new(width, native.num_clbits());
-    padded.try_extend(&native).map_err(|e| e.to_string())?;
-    let routed = route_with_greedy_layout(&padded, device.topology())
-        .map_err(|e| format!("routing failed: {e}"))?;
-    Ok(routed.circuit)
+    let routed = compiler.prepare(&circuit).map_err(|e| e.to_string())?;
+    Ok(routed.circuit.clone())
 }
 
 #[cfg(test)]

@@ -107,7 +107,12 @@ pub struct ServeState {
     /// The simulated device fleet, keyed by name. Mutated only by
     /// `advance_day`.
     devices: Mutex<BTreeMap<String, Device>>,
-    /// The characterization cache.
+    /// The characterization cache — a typed layer over the shared
+    /// content-addressed artifact store ([`CharacCache::artifacts`]) that
+    /// also backs every job's compile pipeline, so `compare`-style jobs
+    /// reuse the lower/place/route prefix across schedulers and one
+    /// `advance_day` sweep invalidates characterizations and compile
+    /// artifacts alike.
     pub cache: CharacCache,
     /// Service counters.
     pub metrics: Metrics,

@@ -41,12 +41,20 @@ fn served_run_matches_direct_execution() {
     // seed — the counts must agree bit for bit.
     let device = xtalk_device::Device::poughkeepsie(ServeConfig::default().device_seed);
     let ctx = xtalk_core::SchedulerContext::from_ground_truth(&device);
-    let circuit = xtalk_serve::jobs::prepare_circuit(BELL, &device, &ctx).unwrap();
+    let compiler = xtalk_core::Compiler::new(&device, ctx.clone());
+    let circuit = xtalk_serve::jobs::prepare_circuit(BELL, &compiler).unwrap();
     let sched = xtalk_serve::jobs::scheduler_by_name("par", 0.5)
         .unwrap()
         .schedule(&circuit, &ctx)
         .unwrap();
-    let direct = xtalk_core::pipeline::run_scheduled(&device, &sched, 512, 9);
+    let direct = xtalk_core::pipeline::run_scheduled_opts(
+        &device,
+        &sched,
+        512,
+        9,
+        &xtalk_core::RunOpts::default(),
+    )
+    .counts;
 
     let served = counts_map(&resp);
     assert_eq!(served.iter().map(|(_, n)| n).sum::<u64>(), direct.shots());

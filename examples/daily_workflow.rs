@@ -9,8 +9,7 @@
 
 use crosstalk_mitigation::charac::policy::TimeModel;
 use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
-use crosstalk_mitigation::core::pipeline::swap_bell_error;
-use crosstalk_mitigation::core::{ParSched, SchedulerContext, XtalkSched};
+use crosstalk_mitigation::core::{Compiler, ParSched, SchedulerContext, XtalkSched};
 use crosstalk_mitigation::device::Device;
 
 fn main() {
@@ -48,10 +47,13 @@ fn main() {
         let (charac, report) = characterize(&device, &policy, &rb, &tm);
         let ctx = SchedulerContext::new(&device, charac);
 
-        // Compile & run the day's workload with the fresh estimates.
-        let par =
-            swap_bell_error(&device, &ctx, &ParSched::new(), 0, 13, 384, u64::from(day)).unwrap();
-        let xt = swap_bell_error(&device, &ctx, &XtalkSched::new(0.5), 0, 13, 384, u64::from(day))
+        // Compile & run the day's workload with the fresh estimates. A
+        // per-day compiler mirrors the epoch-keyed serving cache: a new
+        // calibration day means a new artifact space.
+        let compiler = Compiler::new(&device, ctx);
+        let par = compiler.swap_bell_error(&ParSched::new(), 0, 13, 384, u64::from(day), 1).unwrap();
+        let xt = compiler
+            .swap_bell_error(&XtalkSched::new(0.5), 0, 13, 384, u64::from(day), 1)
             .unwrap();
         println!(
             "{:<5} {:>12} {:>14.1} {:>12.4} {:>12.4} {:>7.2}x",

@@ -6,13 +6,13 @@
 //! ```
 
 use crosstalk_mitigation::core::bench_circuits::hidden_shift;
-use crosstalk_mitigation::core::pipeline::hidden_shift_error;
-use crosstalk_mitigation::core::{SchedulerContext, XtalkSched};
+use crosstalk_mitigation::core::{Compiler, SchedulerContext, XtalkSched};
 use crosstalk_mitigation::device::Device;
 
 fn main() {
     let device = Device::poughkeepsie(7);
     let ctx = SchedulerContext::from_ground_truth(&device);
+    let compiler = Compiler::new(&device, ctx);
     let region = [5u32, 10, 11, 12];
     let shift = 0b1010u8;
 
@@ -25,16 +25,9 @@ fn main() {
         );
         println!("{:>6} {:>12}", "omega", "error rate");
         for omega in [0.0, 0.2, 0.35, 0.5, 0.75, 1.0] {
-            let err = hidden_shift_error(
-                &device,
-                &ctx,
-                &XtalkSched::new(omega),
-                &circuit,
-                shift as u64,
-                2048,
-                9,
-            )
-            .expect("scheduling succeeds");
+            let err = compiler
+                .hidden_shift_error(&XtalkSched::new(omega), &circuit, shift as u64, 2048, 9)
+                .expect("scheduling succeeds");
             println!("{omega:>6.2} {err:>12.4}");
         }
     }

@@ -6,14 +6,17 @@
 //! ```
 
 use crosstalk_mitigation::core::bench_circuits::qaoa_ansatz;
-use crosstalk_mitigation::core::pipeline::qaoa_cross_entropy;
-use crosstalk_mitigation::core::{SchedulerContext, XtalkSched};
+use crosstalk_mitigation::core::{Compiler, SchedulerContext, XtalkSched};
 use crosstalk_mitigation::device::Device;
 use crosstalk_mitigation::sim::{ideal, metrics};
 
 fn main() {
     let device = Device::poughkeepsie(7);
     let ctx = SchedulerContext::from_ground_truth(&device);
+    // One compiler across the whole ω sweep: each ω is a distinct
+    // schedule-pass fingerprint, but readout calibration and the shared
+    // pass prefix stay cached.
+    let compiler = Compiler::new(&device, ctx);
 
     // A 4-qubit region that crosses the planted (5,10) | (11,12) pair.
     let region = [5u32, 10, 11, 12];
@@ -23,15 +26,9 @@ fn main() {
     println!("{:>6} {:>16}", "omega", "cross entropy");
 
     for omega in [0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let ce = qaoa_cross_entropy(
-            &device,
-            &ctx,
-            &XtalkSched::new(omega),
-            &circuit,
-            2048,
-            3,
-        )
-        .expect("scheduling succeeds");
+        let ce = compiler
+            .qaoa_cross_entropy(&XtalkSched::new(omega), &circuit, 2048, 3)
+            .expect("scheduling succeeds");
         println!("{omega:>6.2} {ce:>16.4}");
     }
 

@@ -6,8 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use crosstalk_mitigation::core::pipeline::swap_bell_error;
-use crosstalk_mitigation::core::{ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched};
+use crosstalk_mitigation::core::{
+    Compiler, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
+};
 use crosstalk_mitigation::device::Device;
 
 fn main() {
@@ -17,8 +18,11 @@ fn main() {
     println!("device: {device}");
 
     // Perfect characterization knowledge (see the `characterize_device`
-    // example for the measured version).
+    // example for the measured version). One compiler serves all three
+    // schedulers, so the tomography circuits' lower/place/route prefix is
+    // compiled once and cached.
     let ctx = SchedulerContext::from_ground_truth(&device);
+    let compiler = Compiler::new(&device, ctx);
 
     // The paper's Figure 6 case study: communicate qubit 0 with qubit 13.
     let (a, b) = (0, 13);
@@ -31,7 +35,8 @@ fn main() {
         Box::new(XtalkSched::new(0.5)),
     ];
     for sched in &schedulers {
-        let out = swap_bell_error(&device, &ctx, sched.as_ref(), a, b, 512, 42)
+        let out = compiler
+            .swap_bell_error(sched.as_ref(), a, b, 512, 42, 1)
             .expect("routing and scheduling succeed on this device");
         println!("{:<14} {:>12.4} {:>14}", sched.name(), out.error_rate, out.duration_ns);
     }

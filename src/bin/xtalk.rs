@@ -5,27 +5,23 @@
 //! xtalk characterize --device poughkeepsie [--policy all|onehop|binpacked] [--seqs N] [--shots N]
 //! xtalk schedule <input.qasm> --device poughkeepsie [--scheduler xtalk|par|serial] [--omega W] [-o out.qasm]
 //! xtalk run <input.qasm> --device poughkeepsie [--scheduler ...] [--shots N]
+//! xtalk compare <input.qasm> --device poughkeepsie [--shots N]
 //! xtalk swap-demo --device poughkeepsie --from 0 --to 13
 //! ```
 //!
-//! Circuits are read and written as OpenQASM 2.0. Non-hardware-compliant
-//! inputs are automatically placed and routed (greedy layout + shortest
-//! path SWAP insertion) before scheduling.
+//! Circuits are read and written as OpenQASM 2.0. Every verb drives the
+//! typed pass pipeline ([`Compiler`]): non-hardware-compliant inputs are
+//! lowered, placed and routed (greedy layout + shortest path SWAP
+//! insertion) before scheduling, and intermediate artifacts are
+//! content-addressed so `compare` shares the lower/place/route prefix
+//! across its three schedulers.
 
 use crosstalk_mitigation::charac::policy::TimeModel;
 use crosstalk_mitigation::charac::{characterize, CharacterizationPolicy, RbConfig};
-use crosstalk_mitigation::core::layout::route_with_greedy_layout;
-use crosstalk_mitigation::core::optimize::fuse_single_qubit_gates;
 use crosstalk_mitigation::budget::Budget;
-use crosstalk_mitigation::core::pipeline::{
-    run_scheduled_budgeted, run_scheduled_threads, swap_bell_error,
-};
-use crosstalk_mitigation::core::sched::check_hardware_compliant;
-use crosstalk_mitigation::core::transpile::lower_to_native;
 use crosstalk_mitigation::core::{
-    to_barriered_circuit, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
+    Compiler, ParSched, Scheduler, SchedulerContext, SerialSched, XtalkSched,
 };
-use crosstalk_mitigation::core::pipeline::swap_bell_error_threads;
 use crosstalk_mitigation::device::Device;
 use crosstalk_mitigation::ir::{qasm, Circuit};
 use crosstalk_mitigation::obs;
@@ -46,6 +42,7 @@ fn main() -> ExitCode {
         "characterize" => cmd_characterize(rest),
         "schedule" => cmd_schedule(rest),
         "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
         "swap-demo" => cmd_swap_demo(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
@@ -75,6 +72,7 @@ USAGE:
     xtalk characterize --device <name> [--policy all|onehop|binpacked] [--seqs N] [--shots N] [--seed N]
     xtalk schedule <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [-o <out.qasm>]
     xtalk run <input.qasm> --device <name> [--scheduler xtalk|par|serial] [--omega W] [--shots N] [--seed N] [--threads N] [--budget-ms N] [--profile]
+    xtalk compare <input.qasm> --device <name> [--omega W] [--shots N] [--seed N] [--threads N] [--profile]
     xtalk swap-demo --device <name> --from A --to B [--shots N]
     xtalk serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--device-seed N] [--profile]
                 [--stale-ttl N] [--faults SPEC] [--fault-seed N]
@@ -215,38 +213,21 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_and_prepare(
-    path: &str,
-    device: &Device,
-    ctx: &SchedulerContext,
-) -> Result<Circuit, String> {
+/// Reads a QASM file and runs the scheduler-independent pass prefix
+/// (lower → place → route) through `compiler`, reporting any routing
+/// that was needed.
+fn load_and_prepare(path: &str, compiler: &Compiler<'_>) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let circuit = qasm::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let native = fuse_single_qubit_gates(&lower_to_native(&circuit));
-    if native.num_qubits() > device.topology().num_qubits() {
-        return Err(format!(
-            "circuit uses {} qubits but {} has {}",
-            native.num_qubits(),
-            device.name(),
-            device.topology().num_qubits()
-        ));
+    let routed = compiler.prepare(&circuit).map_err(|e| e.to_string())?;
+    if routed.swaps_inserted > 0 {
+        println!(
+            "(routed: {} SWAPs inserted, layout {:?})",
+            routed.swaps_inserted,
+            routed.initial_layout.mapping()
+        );
     }
-    if check_hardware_compliant(&native, ctx).is_ok()
-        && native.num_qubits() == device.topology().num_qubits()
-    {
-        return Ok(native);
-    }
-    // Pad to the device width, then place & route.
-    let mut padded = Circuit::new(device.topology().num_qubits(), native.num_clbits());
-    padded.try_extend(&native).map_err(|e| e.to_string())?;
-    let routed = route_with_greedy_layout(&padded, device.topology())
-        .map_err(|e| format!("routing failed: {e}"))?;
-    println!(
-        "(routed: {} SWAPs inserted, layout {:?})",
-        routed.swaps_inserted,
-        routed.initial_layout.mapping()
-    );
-    Ok(routed.circuit)
+    Ok(routed.circuit.clone())
 }
 
 fn cmd_schedule(args: &[String]) -> Result<(), String> {
@@ -254,35 +235,22 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let path = flags.positional.first().ok_or("schedule needs an input .qasm file")?;
     let device = device_from(&flags)?;
     let ctx = SchedulerContext::from_ground_truth(&device);
-    let circuit = load_and_prepare(path, &device, &ctx)?;
-    let omega = flags.get_parse("omega", 0.5f64)?;
+    let compiler = Compiler::new(&device, ctx);
+    let circuit = load_and_prepare(path, &compiler)?;
+    let scheduler = scheduler_from(&flags)?;
 
-    match flags.get("scheduler").unwrap_or("xtalk") {
-        "xtalk" => {
-            let (sched, report) = XtalkSched::new(omega)
-                .schedule_with_report(&circuit, &ctx)
-                .map_err(|e| e.to_string())?;
-            println!("{sched}");
-            println!(
-                "candidates: {}, serializations: {:?}, objective {:.4}",
-                report.candidate_pairs, report.serializations, report.cost
-            );
-            if let Some(out) = flags.get("out") {
-                let barriered = to_barriered_circuit(&sched, &report.serializations);
-                std::fs::write(out, qasm::dump(&barriered)).map_err(|e| e.to_string())?;
-                println!("wrote barriered executable to {out}");
-            }
-        }
-        _ => {
-            let scheduler = scheduler_from(&flags)?;
-            let sched = scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?;
-            println!("{sched}");
-            if let Some(out) = flags.get("out") {
-                let barriered = to_barriered_circuit(&sched, &[]);
-                std::fs::write(out, qasm::dump(&barriered)).map_err(|e| e.to_string())?;
-                println!("wrote executable to {out}");
-            }
-        }
+    let artifact = compiler.schedule(&circuit, scheduler.as_ref()).map_err(|e| e.to_string())?;
+    println!("{}", artifact.sched);
+    if let Some(report) = &artifact.report {
+        println!(
+            "candidates: {}, serializations: {:?}, objective {:.4}",
+            report.candidate_pairs, report.serializations, report.cost
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        let realized = compiler.realize_export(&artifact).map_err(|e| e.to_string())?;
+        std::fs::write(out, qasm::dump(&realized.circuit)).map_err(|e| e.to_string())?;
+        println!("wrote barriered executable to {out}");
     }
     Ok(())
 }
@@ -295,7 +263,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = flags.positional.first().ok_or("run needs an input .qasm file")?;
     let device = device_from(&flags)?;
     let ctx = SchedulerContext::from_ground_truth(&device);
-    let circuit = load_and_prepare(path, &device, &ctx)?;
+    let compiler = Compiler::new(&device, ctx);
+    // Preparation runs unbudgeted — a dead deadline still yields a valid
+    // circuit so the schedule/run stages can answer honestly below.
+    let circuit = load_and_prepare(path, &compiler)?;
     let scheduler = scheduler_from(&flags)?;
     let shots = flags.get_parse("shots", 2048u64)?;
     let seed = flags.get_parse("seed", 7u64)?;
@@ -311,23 +282,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // The budget spans scheduling *and* simulation: an exhausted search
     // falls back to a ParSched-equivalent schedule, an exhausted executor
     // stops at a batch boundary with exact shots_completed provenance.
-    let (sched, search_truncated) = if flags.get("scheduler").unwrap_or("xtalk") == "xtalk" {
-        let omega = flags.get_parse("omega", 0.5f64)?;
-        let (sched, report) = XtalkSched::new(omega)
-            .schedule_budgeted(&circuit, &ctx, &budget)
-            .map_err(|e| e.to_string())?;
-        if !report.complete {
-            println!(
-                "(search truncated by budget after {} leaves{})",
-                report.leaves,
-                if report.fallback { "; using crosstalk-unaware fallback" } else { "" }
-            );
-        }
-        (sched, !report.complete)
-    } else {
-        (scheduler.schedule(&circuit, &ctx).map_err(|e| e.to_string())?, false)
-    };
-    let outcome = run_scheduled_budgeted(&device, &sched, shots, seed, threads, &budget);
+    let compiler = compiler.with_budget(budget.clone());
+    let artifact = compiler.schedule(&circuit, scheduler.as_ref()).map_err(|e| e.to_string())?;
+    let search_truncated = artifact.report.as_ref().is_some_and(|r| !r.complete);
+    if let Some(report) = artifact.report.as_ref().filter(|r| !r.complete) {
+        println!(
+            "(search truncated by budget after {} leaves{})",
+            report.leaves,
+            if report.fallback { "; using crosstalk-unaware fallback" } else { "" }
+        );
+    }
+    let sched = &artifact.sched;
+    let outcome = compiler.run(sched, shots, seed, threads).map_err(|e| e.to_string())?;
     let counts = &outcome.counts;
     println!(
         "{} | scheduler {} | makespan {} ns | {}/{} shots",
@@ -369,15 +335,80 @@ fn cmd_swap_demo(args: &[String]) -> Result<(), String> {
     let shots = flags.get_parse("shots", 512u64)?;
     println!("SWAP benchmark {from} <-> {to} on {}", device.name());
     println!("{:<14} {:>12} {:>14}", "scheduler", "error rate", "duration (ns)");
+    let compiler = Compiler::new(&device, ctx);
     let schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(SerialSched::new()),
         Box::new(ParSched::new()),
         Box::new(XtalkSched::new(0.5)),
     ];
     for s in &schedulers {
-        let out = swap_bell_error(&device, &ctx, s.as_ref(), from, to, shots, 42)
+        let out = compiler
+            .swap_bell_error(s.as_ref(), from, to, shots, 42, 1)
             .map_err(|e| e.to_string())?;
         println!("{:<14} {:>12.4} {:>14}", s.name(), out.error_rate, out.duration_ns);
+    }
+    Ok(())
+}
+
+/// Compiles one circuit with all three scheduling policies through a
+/// *single* compiler, so the lower/place/route prefix is computed once
+/// and served from the artifact cache for the second and third policies.
+/// Reports per-policy makespan, search cost and a mitigated
+/// cross-entropy error against the noise-free ideal, then the cache's
+/// hit/miss counters proving the prefix was shared.
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("profile") {
+        obs::set_enabled(true);
+    }
+    let path = flags.positional.first().ok_or("compare needs an input .qasm file")?;
+    let device = device_from(&flags)?;
+    let ctx = SchedulerContext::from_ground_truth(&device);
+    let omega = flags.get_parse("omega", 0.5f64)?;
+    if !(0.0..=1.0).contains(&omega) {
+        return Err(format!("--omega must be in [0,1], got {omega}"));
+    }
+    let shots = flags.get_parse("shots", 1024u64)?;
+    let seed = flags.get_parse("seed", 7u64)?;
+
+    let compiler = Compiler::new(&device, ctx);
+    let circuit = load_and_prepare(path, &compiler)?;
+    println!("comparing schedulers on {} ({shots} shots, seed {seed})", device.name());
+    println!(
+        "{:<14} {:>13} {:>12} {:>12}",
+        "scheduler", "makespan (ns)", "search cost", "xent error"
+    );
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SerialSched::new()),
+        Box::new(ParSched::new()),
+        Box::new(XtalkSched::new(omega)),
+    ];
+    for s in &schedulers {
+        let artifact = compiler.schedule(&circuit, s.as_ref()).map_err(|e| e.to_string())?;
+        let xent = compiler
+            .qaoa_cross_entropy(s.as_ref(), &circuit, shots, seed)
+            .map_err(|e| e.to_string())?;
+        let cost = artifact
+            .report
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |r| format!("{:.4}", r.cost));
+        println!(
+            "{:<14} {:>13} {:>12} {:>12.4}",
+            s.name(),
+            artifact.sched.makespan(),
+            cost,
+            xent
+        );
+    }
+    let cache = compiler.cache();
+    println!(
+        "artifact cache: {} hits, {} misses, {} artifacts (lower/place/route shared across schedulers)",
+        cache.hits(),
+        cache.misses(),
+        cache.len()
+    );
+    if flags.has("profile") {
+        print!("{}", obs::snapshot().to_text());
     }
     Ok(())
 }
@@ -457,32 +488,28 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 &TimeModel::default(),
             );
 
-            // Transpile: greedy layout + SWAP routing of a hot-region GHZ.
+            // Compile a hot-region GHZ through the pass pipeline (lower →
+            // place → route → schedule), then simulate in parallel. Every
+            // stage shows up both as its own span (layout, routing,
+            // sched.*) and as a managed `pass.<id>` span with
+            // `pass.cache.hit`/`miss` counters.
+            let compiler = Compiler::new(&device, ctx);
             let circuit = crosstalk_mitigation::core::bench_circuits::ghz(
                 20,
                 &[5, 10, 11, 12, 15],
             );
-            let routed = route_with_greedy_layout(&circuit, device.topology())
-                .map_err(|e| format!("routing failed: {e}"))?;
-
-            // Schedule (lazy branch-and-bound) + simulate in parallel.
-            let sched = XtalkSched::new(0.5)
-                .schedule(&routed.circuit, &ctx)
+            let routed = compiler.prepare(&circuit).map_err(|e| e.to_string())?;
+            let artifact = compiler
+                .schedule(&routed.circuit, &XtalkSched::new(0.5))
                 .map_err(|e| e.to_string())?;
-            let _ = run_scheduled_threads(&device, &sched, shots, seed, threads);
+            let _ = compiler
+                .run(&artifact.sched, shots, seed, threads)
+                .map_err(|e| e.to_string())?;
 
             // The full Figure-5 style metric across the 11x hot spot.
-            let _ = swap_bell_error_threads(
-                &device,
-                &ctx,
-                &XtalkSched::new(0.5),
-                0,
-                13,
-                shots.min(128),
-                seed,
-                threads,
-            )
-            .map_err(|e| e.to_string())?;
+            let _ = compiler
+                .swap_bell_error(&XtalkSched::new(0.5), 0, 13, shots.min(128), seed, threads)
+                .map_err(|e| e.to_string())?;
         }
         "charac" => {
             let device = Device::poughkeepsie(seed);
@@ -529,8 +556,9 @@ fn cmd_profile_check(args: &[String]) -> Result<(), String> {
         .filter_map(|s| s.get("name").and_then(Json::as_str))
         .collect();
     // `sim.run` matches both `sim.run_parallel` and `sim.run_budgeted`,
-    // so budget-aware profiles validate with the same check.
-    for required in ["layout", "routing", "sched.", "realize", "sim.run", "charac."] {
+    // so budget-aware profiles validate with the same check. `pass.`
+    // asserts the workload went through the managed pass pipeline.
+    for required in ["layout", "routing", "sched.", "realize", "sim.run", "charac.", "pass."] {
         if !names.iter().any(|n| n.contains(required)) {
             return Err(format!("no span matching `{required}` in {names:?}"));
         }

@@ -14,7 +14,11 @@
 //! * [`smt`] — the optimizing constraint solver used by the scheduler.
 //! * [`charac`] — fast crosstalk characterization (paper Section 5).
 //! * [`core`] — the crosstalk-adaptive scheduler and baselines
-//!   (paper Sections 6–7).
+//!   (paper Sections 6–7), plus the [`core::Compiler`] entry point over
+//!   the managed pass pipeline.
+//! * [`pass`] — the typed pass manager: content hashing (FNV-1a over
+//!   structure), the epoch-keyed artifact cache, and the uniform
+//!   span/fault/budget harness every compile pass runs under.
 //! * [`serve`] — a multi-threaded TCP job service wrapping the
 //!   characterize → schedule → run pipeline (line-delimited JSON,
 //!   bounded worker pool, drift-aware characterization cache).
@@ -33,7 +37,7 @@
 //!
 //! ```
 //! use crosstalk_mitigation::device::Device;
-//! use crosstalk_mitigation::core::{Scheduler, XtalkSched, SchedulerContext};
+//! use crosstalk_mitigation::core::{Compiler, SchedulerContext, XtalkSched};
 //! use crosstalk_mitigation::core::routing::swap_circuit_between;
 //!
 //! // A 20-qubit IBMQ Poughkeepsie model with ground-truth crosstalk.
@@ -42,10 +46,12 @@
 //! // A SWAP program routing qubit 0 next to qubit 13.
 //! let circuit = swap_circuit_between(device.topology(), 0, 13).unwrap();
 //!
-//! // Schedule it with perfect characterization knowledge.
+//! // Compile it through the managed pass pipeline with perfect
+//! // characterization knowledge; repeat compiles hit the artifact cache.
 //! let ctx = SchedulerContext::from_ground_truth(&device);
-//! let sched = XtalkSched::new(0.5).schedule(&circuit, &ctx).unwrap();
-//! assert!(sched.makespan() > 0);
+//! let compiler = Compiler::new(&device, ctx);
+//! let artifact = compiler.compile(&circuit, &XtalkSched::new(0.5)).unwrap();
+//! assert!(artifact.sched.makespan() > 0);
 //! ```
 
 pub use xtalk_budget as budget;
@@ -56,6 +62,7 @@ pub use xtalk_core as core;
 pub use xtalk_device as device;
 pub use xtalk_ir as ir;
 pub use xtalk_obs as obs;
+pub use xtalk_pass as pass;
 pub use xtalk_serve as serve;
 pub use xtalk_sim as sim;
 pub use xtalk_smt as smt;
